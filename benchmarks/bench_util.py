@@ -1,0 +1,34 @@
+"""Helpers for the pytest-benchmark wrappers.
+
+Each pytest benchmark module covers one experiment with a CI-sized
+configuration (small window, one round — a full run already replays
+thousands of events).  The heavyweight sweeps live in
+``python -m benchmarks.harness``.
+"""
+
+from __future__ import annotations
+
+from repro import ContinuousQuery, ExecutionConfig
+
+from .common import make_generator, trace_for
+
+BENCH_WINDOW = 150
+
+
+def run_plan(plan, config: ExecutionConfig):
+    """Replay the shared trace through a freshly compiled query."""
+    query = ContinuousQuery(plan, config)
+    return query.run(iter(trace_for(BENCH_WINDOW)))
+
+
+def bench(benchmark, plan_factory, config: ExecutionConfig,
+          window: float = BENCH_WINDOW):
+    """Register one pedantic single-round benchmark and sanity-check it."""
+    gen = make_generator()
+
+    def target():
+        return run_plan(plan_factory(gen, window), config)
+
+    result = benchmark.pedantic(target, rounds=3, iterations=1)
+    assert result.events_processed > 0
+    return result

@@ -1,0 +1,45 @@
+"""Experiment runner: ``python -m benchmarks.harness [exp ...] [--quick]``.
+
+Runs the requested experiments (or ``all``) and prints, for each, the table
+the corresponding figure of the paper plots: average execution time per 1000
+tuples (and deterministic state touches per tuple) for each strategy across
+window sizes.  ``--quick`` shrinks the window sweep for CI-sized runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reproduce the paper's experiments (see DESIGN.md)")
+    parser.add_argument("experiments", nargs="*", default=["all"],
+                        help="experiment ids (e1..e9) or 'all'")
+    parser.add_argument("--quick", action="store_true",
+                        help="small window sweep for CI-sized runs")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        os.environ["REPRO_BENCH_QUICK"] = "1"
+
+    # Import after the env var is set so common.windows() sees it.
+    from .experiments import EXPERIMENTS
+
+    requested = args.experiments or ["all"]
+    if "all" in requested:
+        requested = list(EXPERIMENTS)
+    unknown = [e for e in requested if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments {unknown}; "
+                     f"choose from {sorted(EXPERIMENTS)} or 'all'")
+
+    for exp in requested:
+        EXPERIMENTS[exp]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

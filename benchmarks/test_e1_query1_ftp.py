@@ -1,0 +1,15 @@
+"""E1 / Figure 9: Query 1 (selective ftp join) under all three strategies."""
+
+import pytest
+
+from repro import ExecutionConfig, Mode
+from repro.workloads import query1
+
+from .bench_util import bench
+
+
+@pytest.mark.parametrize("mode", [Mode.NT, Mode.DIRECT, Mode.UPA],
+                         ids=lambda m: m.value)
+def test_query1_ftp(benchmark, mode):
+    bench(benchmark, lambda gen, w: query1(gen, w, "ftp"),
+          ExecutionConfig(mode=mode))

@@ -1,0 +1,20 @@
+"""E2 / Figure 10: Query 1 (high-output telnet join).
+
+The headline comparison: the UPA run must beat DIRECT by a widening margin
+as the window grows (asserted on deterministic touch counts in
+test_shapes.py; here we record the wall-clock numbers).
+"""
+
+import pytest
+
+from repro import ExecutionConfig, Mode
+from repro.workloads import query1
+
+from .bench_util import bench
+
+
+@pytest.mark.parametrize("mode", [Mode.NT, Mode.DIRECT, Mode.UPA],
+                         ids=lambda m: m.value)
+def test_query1_telnet(benchmark, mode):
+    bench(benchmark, lambda gen, w: query1(gen, w, "telnet"),
+          ExecutionConfig(mode=mode))

@@ -1,0 +1,22 @@
+"""E3 / Figure 11: Query 2 — δ versus standard duplicate elimination."""
+
+import pytest
+
+from repro import ExecutionConfig, Mode
+from repro.workloads import query2
+
+from .bench_util import bench
+
+
+@pytest.mark.parametrize("mode", [Mode.NT, Mode.DIRECT, Mode.UPA],
+                         ids=lambda m: m.value)
+def test_query2_distinct_src(benchmark, mode):
+    bench(benchmark, lambda gen, w: query2(gen, w, pairs=False),
+          ExecutionConfig(mode=mode))
+
+
+@pytest.mark.parametrize("mode", [Mode.NT, Mode.DIRECT, Mode.UPA],
+                         ids=lambda m: m.value)
+def test_query2_distinct_pairs(benchmark, mode):
+    bench(benchmark, lambda gen, w: query2(gen, w, pairs=True),
+          ExecutionConfig(mode=mode))

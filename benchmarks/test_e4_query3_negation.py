@@ -1,0 +1,22 @@
+"""E4 / Figure 12: Query 3 (negation) — STR result-storage choices."""
+
+import pytest
+
+from repro import ExecutionConfig, Mode
+from repro.engine.strategies import STR_NEGATIVE, STR_PARTITIONED
+from repro.workloads import query3
+
+from .bench_util import bench
+
+CONFIGS = [
+    ("nt", ExecutionConfig(mode=Mode.NT)),
+    ("upa-partitioned", ExecutionConfig(mode=Mode.UPA,
+                                        str_storage=STR_PARTITIONED)),
+    ("upa-negative", ExecutionConfig(mode=Mode.UPA,
+                                     str_storage=STR_NEGATIVE)),
+]
+
+
+@pytest.mark.parametrize("label,config", CONFIGS, ids=[c[0] for c in CONFIGS])
+def test_query3_negation(benchmark, label, config):
+    bench(benchmark, query3, config)

@@ -1,0 +1,14 @@
+"""E5 / Figure 13: Query 4 (distinct source IPs on two links, joined)."""
+
+import pytest
+
+from repro import ExecutionConfig, Mode
+from repro.workloads import query4
+
+from .bench_util import bench
+
+
+@pytest.mark.parametrize("mode", [Mode.NT, Mode.DIRECT, Mode.UPA],
+                         ids=lambda m: m.value)
+def test_query4_distinct_join(benchmark, mode):
+    bench(benchmark, query4, ExecutionConfig(mode=mode))

@@ -1,0 +1,14 @@
+"""E7 / Figure 15: sensitivity to the number of state-buffer partitions."""
+
+import pytest
+
+from repro import ExecutionConfig, Mode
+from repro.workloads import query1
+
+from .bench_util import bench
+
+
+@pytest.mark.parametrize("n_partitions", [1, 5, 10, 50])
+def test_partition_count(benchmark, n_partitions):
+    bench(benchmark, lambda gen, w: query1(gen, w, "telnet"),
+          ExecutionConfig(mode=Mode.UPA, n_partitions=n_partitions))

@@ -1,0 +1,15 @@
+"""E9: lazy-expiration-interval sensitivity (Section 6.1)."""
+
+import pytest
+
+from repro import ExecutionConfig, Mode
+from repro.workloads import query1
+
+from .bench_util import BENCH_WINDOW, bench
+
+
+@pytest.mark.parametrize("fraction", [0.01, 0.05, 0.20])
+def test_lazy_interval(benchmark, fraction):
+    bench(benchmark, lambda gen, w: query1(gen, w, "telnet"),
+          ExecutionConfig(mode=Mode.UPA,
+                          lazy_interval=fraction * BENCH_WINDOW))

@@ -1,0 +1,96 @@
+"""Microbenchmarks of the state-buffer primitives.
+
+These isolate the data-structure claims from query processing: FIFO pops vs
+list scans vs partition drops for expiration, and hash vs positional
+deletion.  They complement the query-level experiments — if a buffer
+regresses, these localize it.
+"""
+
+import pytest
+
+from repro import Tuple
+from repro.buffers import FifoBuffer, HashBuffer, ListBuffer, PartitionedBuffer
+
+N = 2_000
+SPAN = 100.0
+
+
+def _tuples():
+    # exp spread uniformly over the span, arrival order == exp order.
+    return [Tuple((i % 50,), i * SPAN / N, (i + 1) * SPAN / N)
+            for i in range(N)]
+
+
+def _key(t):
+    return t.values[0]
+
+
+def _fill(buffer):
+    for t in _tuples():
+        buffer.insert(t)
+    return buffer
+
+
+@pytest.mark.parametrize("factory,label", [
+    (lambda: FifoBuffer(_key), "fifo"),
+    (lambda: ListBuffer(_key), "list"),
+    (lambda: PartitionedBuffer(SPAN, 10, _key), "partitioned"),
+    (lambda: HashBuffer(_key), "hash"),
+], ids=["fifo", "list", "partitioned", "hash"])
+def test_insert_throughput(benchmark, factory, label):
+    benchmark.pedantic(lambda: _fill(factory()), rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("factory", [
+    lambda: FifoBuffer(_key),
+    lambda: ListBuffer(_key),
+    lambda: PartitionedBuffer(SPAN, 10, _key),
+], ids=["fifo", "list", "partitioned"])
+def test_incremental_purge(benchmark, factory):
+    """Expire the buffer in 100 small steps — the steady-state pattern."""
+
+    def run():
+        buffer = _fill(factory())
+        removed = 0
+        for step in range(100):
+            removed += len(buffer.purge_expired(SPAN * (step + 1) / 100))
+        assert removed == N
+        return buffer
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("factory", [
+    lambda: HashBuffer(_key),
+    lambda: PartitionedBuffer(SPAN, 10, _key),
+    lambda: ListBuffer(_key),
+], ids=["hash", "partitioned", "list"])
+def test_targeted_deletion(benchmark, factory):
+    """Delete 200 known tuples by negative-tuple matching."""
+    victims = _tuples()[::10][:200]
+
+    def run():
+        buffer = _fill(factory())
+        for victim in victims:
+            assert buffer.delete(victim.negate())
+        return buffer
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("factory", [
+    lambda: FifoBuffer(_key),
+    lambda: HashBuffer(_key),
+    lambda: PartitionedBuffer(SPAN, 10, _key),
+], ids=["fifo", "hash", "partitioned"])
+def test_probe_throughput(benchmark, factory):
+    buffer = _fill(factory())
+
+    def run():
+        hits = 0
+        for key in range(50):
+            hits += len(buffer.probe(key, now=0.0))
+        assert hits == N
+        return hits
+
+    benchmark.pedantic(run, rounds=3, iterations=2)

@@ -1,0 +1,79 @@
+"""Financial ticker with metadata — NRRs versus relations (Section 4.1).
+
+The paper motivates non-retroactive relations with exactly this scenario: a
+stream of stock quotes joined with a symbol ↔ company table.  When a company
+is delisted, previously reported quotes should stand; when a new company
+lists, its symbol should not be joined with quotes from before the listing.
+An ordinary relation gives the opposite — fully retroactive — behaviour.
+This example runs both side by side on the same event trace.
+
+Run:  python examples/financial_ticker_nrr.py
+"""
+
+from repro import (
+    NRR,
+    Arrival,
+    ContinuousQuery,
+    ExecutionConfig,
+    Mode,
+    Relation,
+    RelationUpdate,
+    Schema,
+    StreamDef,
+    TimeWindow,
+    from_window,
+)
+
+QUOTES = Schema(["symbol", "price"])
+SYMBOLS = Schema(["sym", "company"])
+
+EVENTS = [
+    Arrival(1, "quotes", ("ACME", 101.5)),
+    Arrival(2, "quotes", ("GLOBEX", 48.2)),
+    # GLOBEX is delisted at t=3...
+    RelationUpdate(3, "symbols", "delete", ("GLOBEX", "Globex Corp")),
+    Arrival(4, "quotes", ("GLOBEX", 47.9)),   # ...so this quote is orphaned
+    # INITECH lists at t=5...
+    RelationUpdate(5, "symbols", "insert", ("INITECH", "Initech Inc")),
+    Arrival(6, "quotes", ("INITECH", 12.0)),  # ...and only new quotes join
+    Arrival(7, "quotes", ("ACME", 102.0)),
+]
+
+INITIAL_ROWS = [("ACME", "Acme Corp"), ("GLOBEX", "Globex Corp")]
+
+
+def run(table, join_method: str) -> dict:
+    quotes = StreamDef("quotes", QUOTES, TimeWindow(100))
+    builder = from_window(quotes)
+    if join_method == "nrr":
+        plan = builder.join_nrr(table, on="symbol", rel_on="sym").build()
+    else:
+        plan = builder.join_relation(table, on="symbol",
+                                     rel_on="sym").build()
+    query = ContinuousQuery(plan, ExecutionConfig(mode=Mode.UPA))
+    query.run(list(EVENTS))
+    return dict(query.answer())
+
+
+def describe(answer: dict) -> None:
+    for values in sorted(answer, key=lambda v: str(v)):
+        symbol, price, _sym, company = values
+        print(f"    {symbol:<8} {price:>7}  ({company})")
+
+
+def main() -> None:
+    print("Non-retroactive relation (the paper's NRR semantics):")
+    nrr_answer = run(NRR("symbols", SYMBOLS, INITIAL_ROWS), "nrr")
+    describe(nrr_answer)
+    print("  → GLOBEX's pre-delisting quote survives; INITECH only joins "
+          "quotes arriving after its listing.\n")
+
+    print("Ordinary relation (retroactive updates, strict non-monotonic):")
+    rel_answer = run(Relation("symbols", SYMBOLS, INITIAL_ROWS), "relation")
+    describe(rel_answer)
+    print("  → GLOBEX results were retracted with negative tuples, and "
+          "INITECH's listing joined the earlier quote retroactively.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""A tour of update-pattern-aware optimization (Sections 5.2 and 5.4).
+
+Walks through what the optimizer sees for the paper's Query 5:
+
+1. annotate both Figure 6 rewritings with update patterns;
+2. estimate their per-unit-time costs from workload statistics;
+3. enumerate the rewrite closure and pick the cheapest plan;
+4. execute both rewritings and check the prediction against measured work.
+
+Run:  python examples/optimizer_tour.py
+"""
+
+from repro import ContinuousQuery, ExecutionConfig, Mode, explain
+from repro.core.cost import Catalog, CostModel
+from repro.core.optimizer import Optimizer
+from repro.engine.strategies import STR_NEGATIVE
+from repro.workloads import (
+    TrafficConfig,
+    TrafficTraceGenerator,
+    query5_pullup,
+    query5_pushdown,
+)
+
+# Large enough that the rewritings' asymptotic ordering is unambiguous
+# (below W≈200 the pull-up plan's small-state constants win; see
+# EXPERIMENTS.md, E8).
+WINDOW = 400
+
+
+def main() -> None:
+    gen = TrafficTraceGenerator(TrafficConfig(n_links=4, n_src_ips=150,
+                                              seed=42))
+    catalog = Catalog(
+        distinct_counts={(f"link{i}", attr): est
+                         for i in range(4)
+                         for attr, est in
+                         gen.estimated_distincts(WINDOW).items()},
+        premature_frequency=0.5,
+    )
+    model = CostModel(catalog)
+
+    plans = {
+        "negation pull-up  (Fig 6, left)": query5_pullup(gen, WINDOW),
+        "negation push-down (Fig 6, right)": query5_pushdown(gen, WINDOW),
+    }
+
+    print("1) Update-pattern annotation — note where STR edges appear:\n")
+    for name, plan in plans.items():
+        print(f"-- {name}")
+        print(explain(plan))
+        print()
+
+    print("2) Cost model estimates (per unit time):")
+    for name, plan in plans.items():
+        print(f"   {name:<36} {model.estimate(plan).total:10.1f}")
+
+    from repro.core.cost import explain_with_cost
+    print("\n   EXPLAIN with per-node stats (push-down plan):")
+    print("   " + explain_with_cost(
+        query5_pushdown(gen, WINDOW), catalog).replace("\n", "\n   "))
+
+    print("\n3) Optimizer over the rewrite closure:")
+    optimizer = Optimizer(catalog)
+    ranked = optimizer.rank(query5_pushdown(gen, WINDOW))
+    print(f"   {len(ranked)} candidate plans; cheapest: "
+          f"{ranked[0].plan.describe()} at cost {ranked[0].total_cost:.1f}")
+
+    print("\n4) Measured deterministic work (touches/event, hybrid UPA):")
+    events = list(gen.events(int(3 * WINDOW * 4)))
+    for name, plan in plans.items():
+        query = ContinuousQuery(plan, ExecutionConfig(
+            mode=Mode.UPA, str_storage=STR_NEGATIVE))
+        result = query.run(iter(events))
+        print(f"   {name:<36} {result.touches_per_event():10.1f}")
+    print("\nThe cheaper-predicted rewriting is also the cheaper-measured "
+          "one on this workload (experiment E8 asserts this in CI).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""The query-language front-end, end to end.
+
+Registers the traffic streams plus a metadata NRR in a catalog, compiles
+several textual queries into annotated plans, and runs them over a synthetic
+trace whose events arrive slightly out of order (scrubbed by the bounded
+reorder buffer).  The same queries can be run from the shell:
+
+    python -m repro generate --tuples 4000 --out /tmp/trace.tsv
+    python -m repro run "SELECT protocol, COUNT(*) AS flows FROM link0 \
+        [RANGE 120] GROUP BY protocol" --trace /tmp/trace.tsv
+
+Run:  python examples/query_language.py
+"""
+
+import random
+
+from repro import (
+    NRR,
+    Arrival,
+    ContinuousQuery,
+    ExecutionConfig,
+    Mode,
+    ReorderBuffer,
+    Schema,
+    SourceCatalog,
+    compile_query,
+)
+from repro.workloads import TRAFFIC_SCHEMA, TrafficConfig, TrafficTraceGenerator
+
+QUERIES = [
+    "SELECT DISTINCT src_ip FROM link0 [RANGE 120] WHERE protocol = 'telnet'",
+    ("SELECT * FROM link0 [RANGE 120] JOIN link1 [RANGE 120] "
+     "ON link0.src_ip = link1.src_ip WHERE l_protocol = 'telnet'"),
+    "SELECT src_ip FROM link0 [RANGE 120] MINUS link1 [RANGE 120] ON src_ip",
+    ("SELECT protocol, COUNT(*) AS flows, AVG(bytes) AS avg_bytes, "
+     "STDDEV(bytes) AS sd_bytes FROM link0 [RANGE 120] GROUP BY protocol"),
+    "SELECT * FROM link0 [RANGE 120] JOIN watchlist ON src_ip = ip",
+]
+
+
+def scrambled_trace(n_tuples: int) -> list:
+    """The synthetic trace with mild, bounded timestamp jitter."""
+    gen = TrafficTraceGenerator(TrafficConfig(n_links=2, n_src_ips=60,
+                                              seed=11))
+    rng = random.Random(0)
+    return [Arrival(e.ts + rng.uniform(0, 3), e.stream, e.values)
+            for e in gen.events(n_tuples)]
+
+
+def main() -> None:
+    catalog = SourceCatalog()
+    catalog.add_stream("link0", TRAFFIC_SCHEMA)
+    catalog.add_stream("link1", TRAFFIC_SCHEMA)
+    watchlist = NRR("watchlist", Schema(["ip", "reason"]),
+                    [("10.0.0.1", "known scanner"),
+                     ("10.0.0.2", "tarpit")])
+    catalog.add_relation(watchlist)
+
+    events = scrambled_trace(3000)
+    for text in QUERIES:
+        plan = compile_query(text, catalog)
+        query = ContinuousQuery(plan, ExecutionConfig(mode=Mode.UPA))
+        # The jittered feed violates the engine's in-order assumption; a
+        # reorder buffer with enough slack restores it.
+        result = query.run(ReorderBuffer(slack=5.0).reorder(iter(events)))
+        print(text)
+        print(f"  -> {sum(result.answer().values())} live result tuple(s), "
+              f"{result.touches_per_event():.1f} touches/event")
+        print("  " + query.explain().replace("\n", "\n  "))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Quickstart: a sliding-window join, three execution strategies, one answer.
+
+Builds the simplest interesting continuous query — two windowed streams
+joined on a key — runs it under the negative-tuple, direct and
+update-pattern-aware strategies, and shows that all three maintain exactly
+the answer Definition 1 prescribes while doing very different amounts of
+work.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ContinuousQuery,
+    ExecutionConfig,
+    Mode,
+    Schema,
+    StreamDef,
+    TimeWindow,
+    arrivals,
+    attr_equals,
+    from_window,
+    merge_streams,
+)
+
+# 1. Declare two streams, each bounded by a 10-time-unit sliding window.
+schema = Schema(["user", "action"])
+clicks = StreamDef("clicks", schema, TimeWindow(10))
+purchases = StreamDef("purchases", schema, TimeWindow(10))
+
+# 2. Build the plan with the fluent API: clicks ⋈_user purchases, clicks
+#    restricted to action = 'view'.
+plan = (
+    from_window(clicks)
+    .where(attr_equals("action", "view"))
+    .join(from_window(purchases), on="user")
+    .build()
+)
+
+# 3. A small, timestamp-ordered event trace.
+events = list(merge_streams(
+    arrivals("clicks", [
+        (1, ("alice", "view")),
+        (2, ("bob", "view")),
+        (4, ("alice", "scroll")),   # filtered out by the selection
+    ]),
+    arrivals("purchases", [
+        (3, ("alice", "buy")),
+        (5, ("carol", "buy")),      # no matching click: never joins
+        (9, ("bob", "buy")),
+    ]),
+))
+
+
+def main() -> None:
+    for mode in (Mode.NT, Mode.DIRECT, Mode.UPA):
+        query = ContinuousQuery(plan, ExecutionConfig(mode=mode))
+        if mode is Mode.UPA:
+            print("Update-pattern-annotated plan:")
+            print(query.explain())
+            print()
+        result = query.run(list(events))
+        print(f"{mode.value.upper():>7}: answer={dict(result.answer())} "
+              f"touches/event={result.touches_per_event():.1f}")
+    print("\nAll three strategies materialize the same answer; they differ "
+          "in how much state maintenance work it costs them.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+The project metadata lives in pyproject.toml; this file only enables legacy
+editable installs (`pip install -e . --no-use-pep517 --no-build-isolation`)
+on offline machines where PEP 660 wheel building is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,139 @@
+"""Abstract interface shared by all state-buffer implementations.
+
+A *state buffer* stores the tuples an operator (or a materialized result
+view) must remember: window contents, join state, duplicate-elimination
+output, final query results, and so on.  Section 5.3.2 of the paper argues
+that the right physical structure depends on the update pattern of the data
+flowing into the buffer; the concrete subclasses in this package implement
+the structures the paper discusses:
+
+* :class:`~repro.buffers.fifo.FifoBuffer` — WKS input (expiry = generation
+  order): a queue with O(1) pop-front expiration.
+* :class:`~repro.buffers.listbuffer.ListBuffer` — the pattern-unaware
+  arrival-ordered list used by the DIRECT baseline: expiration requires a
+  sequential scan.
+* :class:`~repro.buffers.partitioned.PartitionedBuffer` — WK input: a
+  circular array of partitions bucketed by expiration time (Figure 7);
+  expiration drops whole partitions.
+* :class:`~repro.buffers.hashed.HashBuffer` — NT / STR input: a hash table
+  on a key attribute so negative tuples delete in O(1) expected time.
+
+All buffers optionally maintain a key index (``key_of``) used by
+:meth:`probe`; see DESIGN.md for why probing is hash-indexed in every
+strategy.  Buffers charge their work to a shared :class:`Counters` object so
+experiments can report deterministic *state touches*.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Hashable, Iterable, Iterator
+
+from ..core.metrics import Counters, NULL_COUNTERS
+from ..core.tuples import Tuple
+
+KeyFunction = Callable[[Tuple], Hashable]
+
+
+def values_key(t: Tuple) -> Hashable:
+    """Default key: the full value tuple (identity up to timestamps)."""
+    return t.values
+
+
+class StateBuffer(abc.ABC):
+    """Common protocol for operator state and materialized views."""
+
+    def __init__(self, key_of: KeyFunction | None = None,
+                 counters: Counters | None = None):
+        self._key_of = key_of
+        self.counters = counters if counters is not None else NULL_COUNTERS
+
+    # -- mutation -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def insert(self, t: Tuple) -> None:
+        """Store a live tuple."""
+
+    @abc.abstractmethod
+    def delete(self, t: Tuple) -> bool:
+        """Remove one stored tuple equal to ``t`` (values, ts, exp).
+
+        Used for premature expirations signalled by negative tuples.
+        Returns True if a matching tuple was found and removed.
+        """
+
+    @abc.abstractmethod
+    def purge_expired(self, now: float) -> list[Tuple]:
+        """Remove and return every stored tuple with ``exp <= now``."""
+
+    # -- inspection ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of stored tuples, including expired-but-unpurged ones."""
+
+    @abc.abstractmethod
+    def __iter__(self) -> Iterator[Tuple]:
+        """Iterate over all stored tuples (no liveness filtering)."""
+
+    def live(self, now: float) -> Iterator[Tuple]:
+        """Iterate over stored tuples that have not expired at ``now``.
+
+        Charges one touch per examined tuple: callers that scan the whole
+        buffer pay for it, exactly like the paper's sequential scans.
+        """
+        for t in self:
+            self.counters.touches += 1
+            if t.exp > now:
+                yield t
+
+    def probe(self, key: Hashable, now: float) -> list[Tuple]:
+        """Live tuples whose key equals ``key`` (requires ``key_of``).
+
+        Expired-but-unpurged tuples are skipped, implementing the paper's
+        rule that lazily maintained state must not produce new results from
+        expired tuples (Section 2.1).
+        """
+        if self._key_of is None:
+            raise ValueError("probe() requires a key function")
+        self.counters.probes += 1
+        bucket = self._bucket(key)
+        out = []
+        for t in bucket:
+            self.counters.touches += 1
+            if t.exp > now:
+                out.append(t)
+        return out
+
+    def probe_all(self, key: Hashable) -> list[Tuple]:
+        """All *stored* tuples with the given key, including expired ones.
+
+        Used by negative-tuple cascades: a stored partner represents a
+        result that was generated and not yet retracted, even if the
+        partner's own expiration falls on the current instant — the
+        liveness filter of :meth:`probe` would skip exactly the partner
+        whose result must be retracted when two constituents expire
+        simultaneously.  Deleting results that were already purged by
+        timestamp downstream is a harmless no-op, so over-approximating
+        here is always safe.
+        """
+        if self._key_of is None:
+            raise ValueError("probe_all() requires a key function")
+        self.counters.probes += 1
+        bucket = list(self._bucket(key))
+        self.counters.touches += len(bucket)
+        return bucket
+
+    @abc.abstractmethod
+    def _bucket(self, key: Hashable) -> Iterable[Tuple]:
+        """All stored tuples with the given key (may include expired ones)."""
+
+    # -- helpers for subclasses ----------------------------------------------
+
+    def _key(self, t: Tuple) -> Hashable:
+        assert self._key_of is not None
+        return self._key_of(t)
+
+    @property
+    def has_index(self) -> bool:
+        return self._key_of is not None

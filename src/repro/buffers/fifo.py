@@ -1,0 +1,105 @@
+"""FIFO state buffer for weakest non-monotonic (WKS) input.
+
+When tuples expire in the order they were generated — the defining property
+of WKS update patterns (Section 3.1) — the buffer can be a plain queue:
+insertions append at the tail and expirations pop from the head, both in
+O(1).  Section 5.3.2: "results expire in order of generation, so we can
+implement the state buffer as a list, with insertions appended to the end of
+the list and deletions occurring from the beginning."
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Iterator
+
+from ..core.tuples import Tuple, matches_deletion
+from ..errors import ExecutionError
+from .base import KeyFunction, StateBuffer
+from ..core.metrics import Counters
+
+
+class FifoBuffer(StateBuffer):
+    """Queue ordered by expiration time; only valid for WKS input.
+
+    The WKS guarantee is enforced: inserting a tuple whose ``exp`` precedes
+    the current tail's raises :class:`ExecutionError`, because popping from
+    the head would then expire tuples out of order and violate correctness.
+    """
+
+    def __init__(self, key_of: KeyFunction | None = None,
+                 counters: Counters | None = None):
+        super().__init__(key_of, counters)
+        self._queue: deque[Tuple] = deque()
+        self._index: dict[Hashable, deque[Tuple]] = {}
+
+    def insert(self, t: Tuple) -> None:
+        if self._queue and t.exp < self._queue[-1].exp:
+            raise ExecutionError(
+                f"non-FIFO insertion into FifoBuffer: exp {t.exp} < tail exp "
+                f"{self._queue[-1].exp}; the input is not WKS"
+            )
+        self._queue.append(t)
+        self.counters.inserts += 1
+        self.counters.touches += 1
+        if self._key_of is not None:
+            self._index.setdefault(self._key(t), deque()).append(t)
+
+    def delete(self, t: Tuple) -> bool:
+        # Rarely needed for WKS state; pay the scan when it happens.
+        for i, stored in enumerate(self._queue):
+            self.counters.touches += 1
+            if matches_deletion(stored, t):
+                del self._queue[i]
+                self.counters.deletes += 1
+                self._drop_from_index(stored)
+                return True
+        return False
+
+    def purge_expired(self, now: float) -> list[Tuple]:
+        expired: list[Tuple] = []
+        queue = self._queue
+        # One touch for peeking at the head even when nothing expires.
+        self.counters.touches += 1
+        while queue and queue[0].exp <= now:
+            t = queue.popleft()
+            expired.append(t)
+            self.counters.touches += 1
+            self._drop_from_index(t)
+        self.counters.expirations += len(expired)
+        return expired
+
+    def _drop_from_index(self, t: Tuple) -> None:
+        if self._key_of is None:
+            return
+        key = self._key(t)
+        bucket = self._index.get(key)
+        if not bucket:
+            return
+        # Global FIFO order implies per-key FIFO order, so the head of the
+        # bucket is the stored instance unless delete() removed mid-queue.
+        if bucket[0] == t:
+            bucket.popleft()
+        else:
+            try:
+                bucket.remove(t)
+            except ValueError:
+                pass
+        if not bucket:
+            del self._index[key]
+
+    def _bucket(self, key: Hashable) -> Iterable[Tuple]:
+        return self._index.get(key, ())
+
+    def oldest(self) -> Tuple | None:
+        """The stored tuple that will expire first, if any."""
+        return self._queue[0] if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self._queue)
+
+    def __repr__(self) -> str:
+        return f"FifoBuffer(len={len(self._queue)})"

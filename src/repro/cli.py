@@ -1,0 +1,169 @@
+"""Command-line interface: run a continuous query over a trace file.
+
+Usage::
+
+    python -m repro run "SELECT DISTINCT src_ip FROM link0 [RANGE 100]" \
+        --trace trace.tsv --mode upa --top 10
+    python -m repro generate --tuples 5000 --out trace.tsv
+    python -m repro explain "SELECT * FROM link0 [RANGE 50] JOIN link1 \
+        [RANGE 50] ON link0.src_ip = link1.src_ip"
+
+The trace format is the TSV written by :mod:`repro.workloads.trace_io` (and
+by the ``generate`` subcommand).  Streams named in the query are resolved
+against the traffic schema by default; ``--streams name:attr1,attr2`` can
+declare custom schemas for other traces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter as Multiset
+
+from .core.tuples import Schema
+from .engine.query import ContinuousQuery
+from .engine.strategies import ExecutionConfig, Mode
+from .lang.catalog import SourceCatalog
+from .lang.compiler import compile_query
+from .workloads.trace_io import read_trace, write_trace
+from .workloads.traffic import TRAFFIC_SCHEMA, TrafficConfig, TrafficTraceGenerator
+
+
+def _build_catalog(args) -> SourceCatalog:
+    catalog = SourceCatalog()
+    if args.streams:
+        for spec in args.streams:
+            name, _, attrs = spec.partition(":")
+            if not attrs:
+                raise SystemExit(
+                    f"--streams expects name:attr1,attr2 — got {spec!r}"
+                )
+            catalog.add_stream(name, Schema(attrs.split(",")))
+    else:
+        for link in range(args.links):
+            catalog.add_stream(f"link{link}", TRAFFIC_SCHEMA)
+    return catalog
+
+
+def _cmd_run(args) -> int:
+    catalog = _build_catalog(args)
+    plan = compile_query(args.query, catalog)
+    config = ExecutionConfig(mode=Mode(args.mode),
+                             n_partitions=args.partitions,
+                             str_storage=args.str_storage)
+    query = ContinuousQuery(plan, config)
+    if args.explain:
+        print(query.explain())
+        print()
+    events = read_trace(args.trace)
+    result = query.run(events)
+    answer: Multiset = result.answer()
+    print(f"processed {result.events_processed} events in "
+          f"{result.elapsed:.3f}s "
+          f"({result.time_per_1000()*1000:.2f} ms / 1000 tuples, "
+          f"{result.touches_per_event():.1f} state touches / event)")
+    print(f"{sum(answer.values())} live result tuple(s), "
+          f"{len(answer)} distinct")
+    shown = answer.most_common(args.top) if args.top else answer.items()
+    for values, count in shown:
+        suffix = f"  x{count}" if count > 1 else ""
+        print(f"  {values}{suffix}")
+    if args.top and len(answer) > args.top:
+        print(f"  ... ({len(answer) - args.top} more)")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    config = TrafficConfig(n_links=args.links, n_src_ips=args.ips,
+                           ip_overlap=args.overlap, seed=args.seed)
+    generator = TrafficTraceGenerator(config)
+    n = write_trace(args.out, generator.events(args.tuples))
+    print(f"wrote {n} tuples across {args.links} links to {args.out}")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    catalog = _build_catalog(args)
+    plan = compile_query(args.query, catalog)
+    query = ContinuousQuery(plan, ExecutionConfig(mode=Mode(args.mode)))
+    print(query.explain())
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    """Check Definition 1 after every event of the trace (test oracle)."""
+    from .testing import EquivalenceError, check_plan
+
+    catalog = _build_catalog(args)
+    plan = compile_query(args.query, catalog)
+    events = list(read_trace(args.trace))
+    try:
+        comparisons = check_plan(plan, events, Mode(args.mode))
+    except EquivalenceError as error:
+        print(f"FAILED: {error}")
+        return 1
+    print(f"OK: {comparisons} per-event comparisons against the relational "
+          f"oracle under mode={args.mode}")
+    return 0
+
+
+def _add_catalog_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--links", type=int, default=4,
+                        help="declare linkN traffic streams (default 4)")
+    parser.add_argument("--streams", nargs="*", metavar="NAME:ATTRS",
+                        help="custom stream schemas, e.g. quotes:symbol,price")
+    parser.add_argument("--mode", choices=[m.value for m in Mode],
+                        default="upa", help="execution strategy")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Update-pattern-aware continuous query processor",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a query over a trace file")
+    run.add_argument("query")
+    run.add_argument("--trace", required=True, help="TSV trace file")
+    run.add_argument("--partitions", type=int, default=10)
+    run.add_argument("--str-storage", default="auto",
+                     choices=["auto", "partitioned", "negative"])
+    run.add_argument("--top", type=int, default=20,
+                     help="show only the N most frequent results (0 = all)")
+    run.add_argument("--explain", action="store_true",
+                     help="print the annotated plan before running")
+    _add_catalog_options(run)
+    run.set_defaults(func=_cmd_run)
+
+    generate = sub.add_parser("generate",
+                              help="write a synthetic traffic trace")
+    generate.add_argument("--tuples", type=int, default=5000)
+    generate.add_argument("--links", type=int, default=4)
+    generate.add_argument("--ips", type=int, default=150)
+    generate.add_argument("--overlap", type=float, default=1.0)
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(func=_cmd_generate)
+
+    explain = sub.add_parser("explain",
+                             help="print a query's annotated plan")
+    explain.add_argument("query")
+    _add_catalog_options(explain)
+    explain.set_defaults(func=_cmd_explain)
+
+    validate = sub.add_parser(
+        "validate",
+        help="compare the engine against the relational oracle on a trace")
+    validate.add_argument("query")
+    validate.add_argument("--trace", required=True)
+    _add_catalog_options(validate)
+    validate.set_defaults(func=_cmd_validate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

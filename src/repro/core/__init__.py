@@ -1,0 +1,62 @@
+"""Core model: tuples, update patterns, plans, annotation, cost, semantics."""
+
+from .annotate import AnnotatedPlan, annotate, explain
+from .metrics import Counters
+from .patterns import MONOTONIC, STR, UpdatePattern, WK, WKS
+from .plan import (
+    AggregateSpec,
+    DupElim,
+    GroupBy,
+    Intersect,
+    Join,
+    LogicalNode,
+    Negation,
+    NRRJoin,
+    Predicate,
+    PredicateBuilder,
+    Project,
+    RelationJoin,
+    Rename,
+    Select,
+    Union,
+    WindowScan,
+    attr_equals,
+)
+from .semantics import ReferenceEvaluator
+from .tuples import NEGATIVE, NEVER, POSITIVE, Schema, Tuple, join_tuples
+
+__all__ = [
+    "AnnotatedPlan",
+    "annotate",
+    "explain",
+    "Counters",
+    "MONOTONIC",
+    "STR",
+    "UpdatePattern",
+    "WK",
+    "WKS",
+    "AggregateSpec",
+    "DupElim",
+    "GroupBy",
+    "Intersect",
+    "Join",
+    "LogicalNode",
+    "Negation",
+    "NRRJoin",
+    "Predicate",
+    "PredicateBuilder",
+    "Project",
+    "RelationJoin",
+    "Rename",
+    "Select",
+    "Union",
+    "WindowScan",
+    "attr_equals",
+    "ReferenceEvaluator",
+    "NEGATIVE",
+    "NEVER",
+    "POSITIVE",
+    "Schema",
+    "Tuple",
+    "join_tuples",
+]

@@ -1,0 +1,104 @@
+"""Update-pattern classification and propagation rules (Sections 3 and 5.2).
+
+The paper classifies continuous queries by the order in which their results
+are produced and deleted over time:
+
+* **MONOTONIC** — results are never deleted (append-only output).  Only
+  stateless operators over infinite streams can be monotonic.
+* **WKS** (weakest non-monotonic) — results expire in FIFO order, i.e. in the
+  order in which they were generated.  Projection/selection over a single
+  window, and merge-union of windows, are WKS.
+* **WK** (weak non-monotonic) — results may expire out of FIFO order, but
+  every result's expiration time is known when it is produced (via its
+  ``exp`` timestamp), so no negative tuples are required.  Join, duplicate
+  elimination and group-by are WK.
+* **STR** (strict non-monotonic) — some results expire at unpredictable
+  times and must be deleted explicitly with negative tuples.  Negation is
+  STR, as is a join with an ordinary (retroactively updatable) relation.
+
+The enum is ordered by "complexity": ``MONOTONIC < WKS < WK < STR``, which is
+the order used by Rule 2 ("whichever input pattern is more complex").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+
+class UpdatePattern(enum.IntEnum):
+    """The four update-pattern classes of Section 3.1, ordered by complexity."""
+
+    MONOTONIC = 0
+    WKS = 1  # weakest non-monotonic: FIFO expiration
+    WK = 2   # weak non-monotonic: non-FIFO but predictable expiration
+    STR = 3  # strict non-monotonic: premature expirations via negative tuples
+
+    @property
+    def is_monotonic(self) -> bool:
+        return self is UpdatePattern.MONOTONIC
+
+    @property
+    def needs_negative_tuples(self) -> bool:
+        """True iff maintaining a result with this pattern requires negatives."""
+        return self is UpdatePattern.STR
+
+    @property
+    def expiration_is_fifo(self) -> bool:
+        """True iff results expire in generation order (or never)."""
+        return self in (UpdatePattern.MONOTONIC, UpdatePattern.WKS)
+
+    def __str__(self) -> str:  # used in plan annotations / explain output
+        return self.name
+
+
+# Short aliases matching the paper's abbreviations.
+MONOTONIC = UpdatePattern.MONOTONIC
+WKS = UpdatePattern.WKS
+WK = UpdatePattern.WK
+STR = UpdatePattern.STR
+
+
+def most_complex(patterns: Iterable[UpdatePattern]) -> UpdatePattern:
+    """The most complex pattern among ``patterns`` (Rule 2's combinator)."""
+    return max(patterns, default=MONOTONIC)
+
+
+# ---------------------------------------------------------------------------
+# Propagation rules of Section 5.2.  Plans are annotated bottom-up: edges out
+# of sliding-window leaves carry WKS, edges out of infinite-stream leaves
+# carry MONOTONIC, and each operator derives its output pattern from its
+# input patterns with one of the five rules below.
+# ---------------------------------------------------------------------------
+
+def rule1_unary_weakest(input_pattern: UpdatePattern) -> UpdatePattern:
+    """Rule 1: unary WKS operators (selection, projection) and the NRR-join
+    pass their input pattern through unchanged."""
+    return input_pattern
+
+
+def rule2_binary_weakest(left: UpdatePattern, right: UpdatePattern) -> UpdatePattern:
+    """Rule 2: binary WKS operators (merge-union) output whichever input
+    pattern is more complex: STR if any input is STR, WK if any input is WK,
+    otherwise WKS (or MONOTONIC if both inputs are monotonic)."""
+    return most_complex((left, right))
+
+
+def rule3_weak(*inputs: UpdatePattern) -> UpdatePattern:
+    """Rule 3: WK operators other than group-by (join, intersection,
+    duplicate elimination) output STR if any input is STR, else WK."""
+    if any(p is STR for p in inputs):
+        return STR
+    return WK
+
+
+def rule4_groupby(_input: UpdatePattern) -> UpdatePattern:
+    """Rule 4: group-by always outputs WK, even over STR input, because new
+    aggregate values *replace* old ones without explicit negative tuples."""
+    return WK
+
+
+def rule5_strict(*_inputs: UpdatePattern) -> UpdatePattern:
+    """Rule 5: strict operators (negation) and the retroactive relation join
+    always output STR, regardless of input patterns."""
+    return STR

@@ -1,0 +1,104 @@
+"""Workload statistics collection for the cost model.
+
+Section 5.4.1 assumes input rates, attribute value distributions and
+operator selectivities "may be approximated on the basis of stream arrival
+rates, attribute value distributions, and operator selectivities".  This
+module supplies the approximation: feed a sample prefix of the workload to a
+:class:`StatisticsCollector` and it produces the :class:`Catalog` the cost
+model and optimizer consume — no hand-written statistics needed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Iterable
+
+from ..errors import WorkloadError
+from ..streams.stream import Arrival, Event
+from .cost import Catalog
+from .tuples import Schema
+
+
+class StatisticsCollector:
+    """Accumulates per-stream rates, distinct counts and value histograms."""
+
+    def __init__(self, schemas: dict[str, Schema]):
+        self._schemas = dict(schemas)
+        self._counts: dict[str, int] = {name: 0 for name in schemas}
+        self._values: dict[tuple[str, str], Counter] = {}
+        self._first_ts: float | None = None
+        self._last_ts: float | None = None
+
+    # -- observation -------------------------------------------------------------
+
+    def observe(self, event: Event) -> None:
+        if self._first_ts is None:
+            self._first_ts = event.ts
+        self._last_ts = event.ts
+        if not isinstance(event, Arrival):
+            return
+        schema = self._schemas.get(event.stream)
+        if schema is None:
+            return
+        self._counts[event.stream] += 1
+        for attr, value in zip(schema.fields, event.values):
+            self._values.setdefault((event.stream, attr),
+                                    Counter())[value] += 1
+
+    def observe_many(self, events: Iterable[Event]) -> "StatisticsCollector":
+        """Observe a whole event sequence; returns self for chaining."""
+        for event in events:
+            self.observe(event)
+        return self
+
+    # -- derived statistics -----------------------------------------------------------
+
+    @property
+    def span(self) -> float:
+        if self._first_ts is None or self._last_ts == self._first_ts:
+            return 0.0
+        return self._last_ts - self._first_ts
+
+    def rate(self, stream: str) -> float:
+        """Arrivals per time unit on ``stream`` over the observed span."""
+        if stream not in self._counts:
+            raise WorkloadError(f"stream {stream!r} was not declared")
+        span = self.span
+        if span <= 0:
+            return 0.0
+        return self._counts[stream] / span
+
+    def distinct(self, stream: str, attr: str) -> int:
+        """Distinct values of ``stream.attr`` seen in the sample."""
+        return len(self._values.get((stream, attr), ()))
+
+    def selectivity_of_values(self, stream: str, attr: str,
+                              test: Callable[[object], bool]) -> float:
+        """Fraction of sampled values of ``stream.attr`` passing ``test``."""
+        histogram = self._values.get((stream, attr))
+        if not histogram:
+            return 0.5  # no information: the library default
+        total = sum(histogram.values())
+        passing = sum(c for v, c in histogram.items() if test(v))
+        return passing / total
+
+    def top_values(self, stream: str, attr: str,
+                   n: int = 10) -> list[tuple[object, int]]:
+        """The most frequent attribute values (skew inspection)."""
+        histogram = self._values.get((stream, attr), Counter())
+        return histogram.most_common(n)
+
+    def catalog(self, premature_frequency: float = 0.1,
+                aggregate_cost: float = 1.0) -> Catalog:
+        """Build the cost-model catalog from the collected sample."""
+        distinct_counts = {
+            (stream, attr): float(len(histogram))
+            for (stream, attr), histogram in self._values.items()
+        }
+        return Catalog(distinct_counts=distinct_counts,
+                       premature_frequency=premature_frequency,
+                       aggregate_cost=aggregate_cost)
+
+    def __repr__(self) -> str:
+        return (f"StatisticsCollector(streams={sorted(self._counts)}, "
+                f"events={sum(self._counts.values())}, span={self.span:.1f})")

@@ -1,0 +1,42 @@
+"""Execution engine: strategies, executor, views and the query facade."""
+
+from .executor import Executor, RunResult
+from .multi import GroupRunResult, QueryGroup
+from .profiling import MemoryProfile, MemorySample, profile_memory
+from .reeval import ReEvalResult, ReEvaluationQuery
+from .query import ContinuousQuery, run_query
+from .strategies import (
+    STR_AUTO,
+    STR_NEGATIVE,
+    STR_PARTITIONED,
+    CompiledQuery,
+    ExecutionConfig,
+    Mode,
+    compile_plan,
+)
+from .views import AppendView, BufferView, GroupView, ResultView
+
+__all__ = [
+    "Executor",
+    "RunResult",
+    "GroupRunResult",
+    "QueryGroup",
+    "MemoryProfile",
+    "MemorySample",
+    "profile_memory",
+    "ReEvalResult",
+    "ReEvaluationQuery",
+    "ContinuousQuery",
+    "run_query",
+    "STR_AUTO",
+    "STR_NEGATIVE",
+    "STR_PARTITIONED",
+    "CompiledQuery",
+    "ExecutionConfig",
+    "Mode",
+    "compile_plan",
+    "AppendView",
+    "BufferView",
+    "GroupView",
+    "ResultView",
+]

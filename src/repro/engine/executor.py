@@ -1,0 +1,219 @@
+"""Tuple-at-a-time continuous query executor.
+
+Section 2's processing model: "Each new tuple is processed immediately by
+all the operators in the query before the next tuple is processed.
+Consequently, results are produced in timestamp order."  The executor
+replays a timestamp-ordered event sequence; before dispatching each event it
+runs an expiration pass (so the eager expiration interval equals the tuple
+inter-arrival time, the setting used in Section 6.1), and every
+``lazy_interval`` time units it lets lazily-maintained operators purge their
+state (default: 5% of the largest window, the paper's default).
+
+Pure time advancement without arrivals is modelled with Tick events — the
+paper's observation that "the aggregate value changes as a result of
+expiration from the input" even when nothing arrives.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Iterable
+
+from ..core.tuples import Tuple
+from ..errors import ExecutionError
+from ..streams.relation import NRR
+from ..streams.stream import Arrival, Event, RelationUpdate, Tick
+from .strategies import CompiledQuery
+from ..operators.base import PhysicalOperator
+
+
+class RunResult:
+    """Outcome of a run: the view, counters, and elapsed wall time."""
+
+    def __init__(self, executor: "Executor", elapsed: float,
+                 events_processed: int):
+        self.executor = executor
+        self.view = executor.compiled.view
+        self.counters = executor.compiled.counters
+        self.elapsed = elapsed
+        self.events_processed = events_processed
+
+    def answer(self):
+        """The live result multiset Q(now) at the end of the run."""
+        return self.view.snapshot(self.executor.now)
+
+    @property
+    def touches(self) -> int:
+        return self.counters.touches
+
+    def time_per_1000(self) -> float:
+        """Average execution time per 1000 events — the paper's metric."""
+        if not self.events_processed:
+            return 0.0
+        return 1000.0 * self.elapsed / self.events_processed
+
+    def touches_per_event(self) -> float:
+        if not self.events_processed:
+            return 0.0
+        return self.counters.touches / self.events_processed
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult(events={self.events_processed}, "
+            f"elapsed={self.elapsed:.3f}s, touches={self.touches})"
+        )
+
+
+class Executor:
+    """Drives a compiled query over an event sequence."""
+
+    def __init__(self, compiled: CompiledQuery):
+        self.compiled = compiled
+        self.now: float = -math.inf
+        self._seq: dict[str, int] = {}
+        self._last_purge: float | None = None
+        self._events_processed = 0
+        self._subscribers: list = []
+        span = compiled.max_span
+        interval = compiled.config.lazy_interval
+        if interval is None and span is not None:
+            interval = 0.05 * span
+        self._lazy_interval = interval
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self, events: Iterable[Event],
+            on_event: Callable[["Executor", Event], None] | None = None
+            ) -> RunResult:
+        """Process every event; optionally call ``on_event`` after each one."""
+        start = time.perf_counter()
+        for event in events:
+            self.process_event(event)
+            if on_event is not None:
+                on_event(self, event)
+        elapsed = time.perf_counter() - start
+        return RunResult(self, elapsed, self._events_processed)
+
+    def process_event(self, event: Event) -> None:
+        """Advance the clock, expire state, then dispatch one event."""
+        now = self._clock_for(event)
+        if now < self.now:
+            raise ExecutionError(
+                f"out-of-order event: ts {now} after clock {self.now} "
+                "(the model assumes non-decreasing timestamps, Section 2)"
+            )
+        self.now = now
+        self._events_processed += 1
+        self._expiration_pass(now)
+        if isinstance(event, Arrival):
+            self._dispatch_arrival(event, now)
+        elif isinstance(event, RelationUpdate):
+            self._dispatch_relation_update(event, now)
+        elif isinstance(event, Tick):
+            pass  # time already advanced; the expiration pass did the work
+        else:  # pragma: no cover - event model is closed
+            raise ExecutionError(f"unknown event type {type(event).__name__}")
+        self._maybe_lazy_purge(now)
+
+    def answer(self):
+        """Current result multiset Q(now)."""
+        return self.compiled.view.snapshot(self.now)
+
+    def subscribe(self, callback) -> None:
+        """Receive the query's *output stream*: every real (insertion) and
+        negative (deletion) tuple, as in Definition 2.
+
+        The callback is invoked as ``callback(tuple, now)``.  Predictable
+        expirations are — by design — not signalled: each delivered tuple
+        carries its ``exp`` timestamp, and the update-pattern classification
+        exists precisely so consumers can manage such expirations themselves
+        (only unpredictable, strict non-monotonic deletions arrive as
+        negative tuples).
+        """
+        self._subscribers.append(callback)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _clock_for(self, event: Event) -> float:
+        if self.compiled.time_domain != "count":
+            return event.ts
+        # Count-based windows: the clock is the count-stream's sequence
+        # number; it advances only on arrivals of that stream.
+        if (isinstance(event, Arrival)
+                and event.stream == self.compiled.count_stream):
+            self._seq[event.stream] = self._seq.get(event.stream, 0) + 1
+        return self._seq.get(self.compiled.count_stream, 0)
+
+    def _expiration_pass(self, now: float) -> None:
+        # Bottom-up: leaves (NT negatives) first, then eager operators; each
+        # operator's emissions are pushed all the way up before the next
+        # operator expires, so parents observe deletions in order.
+        for op in self.compiled.expire_ops:
+            outputs = op.expire(now)
+            self._propagate(op, outputs, now)
+        self.compiled.view.purge(now)
+
+    def _dispatch_arrival(self, event: Arrival, now: float) -> None:
+        leaves = self.compiled.leaf_bindings.get(event.stream)
+        if not leaves:
+            return  # stream not referenced by this query
+        for leaf in leaves:
+            clock = now if self.compiled.time_domain == "count" else event.ts
+            ts = now if self.compiled.time_domain == "count" else event.ts
+            stamped = leaf.stamp(event.values, ts, clock)
+            outputs = leaf.process(0, stamped, now)
+            self._propagate(leaf, outputs, now)
+
+    def _dispatch_relation_update(self, event: RelationUpdate,
+                                  now: float) -> None:
+        relation = self.compiled.relations.get(event.relation)
+        if relation is None:
+            raise ExecutionError(
+                f"relation {event.relation!r} is not referenced by the query"
+            )
+        if isinstance(relation, NRR):
+            # Non-retroactive: just version the table; no results change.
+            if event.op == RelationUpdate.INSERT:
+                relation.insert_at(now, event.values)
+            else:
+                relation.delete_at(now, event.values)
+            return
+        if event.op == RelationUpdate.INSERT:
+            relation.insert(event.values)
+        else:
+            relation.delete(event.values)
+        for op in self.compiled.relation_bindings.get(event.relation, ()):
+            if event.op == RelationUpdate.INSERT:
+                outputs = op.on_relation_insert(event.values, now)
+            else:
+                outputs = op.on_relation_delete(event.values, now)
+            self._propagate(op, outputs, now)
+
+    def _propagate(self, source: PhysicalOperator, outputs: list[Tuple],
+                   now: float) -> None:
+        if not outputs:
+            return
+        for parent, slot in self.compiled.route_of(source):
+            next_outputs: list[Tuple] = []
+            for t in outputs:
+                next_outputs.extend(parent.process(slot, t, now))
+            outputs = next_outputs
+            if not outputs:
+                return
+        view = self.compiled.view
+        for t in outputs:
+            view.apply(t, now)
+            for subscriber in self._subscribers:
+                subscriber(t, now)
+
+    def _maybe_lazy_purge(self, now: float) -> None:
+        if self._lazy_interval is None or not self.compiled.lazy_ops:
+            return
+        if self._last_purge is None:
+            self._last_purge = now
+            return
+        if now - self._last_purge >= self._lazy_interval:
+            for op in self.compiled.lazy_ops:
+                op.purge(now)
+            self._last_purge = now

@@ -1,0 +1,87 @@
+"""Memory profiling of query runs.
+
+Section 5.4.2: once a plan is chosen, "several parameters may be adjusted to
+determine the amount of memory required by the query" — the lazy maintenance
+interval (cheaper expiration, more retained garbage) and the number of
+partitions (shorter scans, more structure overhead).  This module measures
+those trade-offs: it samples total operator state and view size during a run
+and reports peaks and averages, which the memory ablation benchmark (E10)
+sweeps against the two knobs and across strategies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+from ..streams.stream import Event
+from .executor import RunResult
+from .query import ContinuousQuery
+
+
+@dataclasses.dataclass
+class MemorySample:
+    """State sizes observed after processing one event."""
+
+    ts: float
+    operator_state: int   # tuples held across all operator buffers
+    view_size: int        # tuples (or groups) in the materialized result
+
+    @property
+    def total(self) -> int:
+        return self.operator_state + self.view_size
+
+
+@dataclasses.dataclass
+class MemoryProfile:
+    """Aggregate of the samples taken during a run."""
+
+    samples: list[MemorySample]
+
+    @property
+    def peak_state(self) -> int:
+        return max((s.operator_state for s in self.samples), default=0)
+
+    @property
+    def peak_view(self) -> int:
+        return max((s.view_size for s in self.samples), default=0)
+
+    @property
+    def peak_total(self) -> int:
+        return max((s.total for s in self.samples), default=0)
+
+    @property
+    def mean_total(self) -> float:
+        """Average total state size across the samples."""
+        if not self.samples:
+            return 0.0
+        return sum(s.total for s in self.samples) / len(self.samples)
+
+    def __repr__(self) -> str:
+        return (f"MemoryProfile(samples={len(self.samples)}, "
+                f"peak={self.peak_total}, mean={self.mean_total:.1f})")
+
+
+def profile_memory(query: ContinuousQuery, events: Iterable[Event],
+                   sample_every: int = 25) -> tuple[RunResult, MemoryProfile]:
+    """Run ``query`` over ``events``, sampling state sizes periodically.
+
+    ``sample_every`` counts events between samples; sampling walks every
+    operator, so very small values slow the run noticeably.
+    """
+    samples: list[MemorySample] = []
+    counter = 0
+
+    def sampler(executor, event) -> None:
+        nonlocal counter
+        counter += 1
+        if counter % sample_every:
+            return
+        samples.append(MemorySample(
+            ts=executor.now,
+            operator_state=executor.compiled.state_size(),
+            view_size=len(executor.compiled.view),
+        ))
+
+    result = query.run(events, on_event=sampler)
+    return result, MemoryProfile(samples)

@@ -1,0 +1,66 @@
+"""High-level continuous query facade.
+
+:class:`ContinuousQuery` bundles a logical plan, a strategy configuration,
+the compiled physical pipeline and an executor — the object most users
+interact with::
+
+    query = ContinuousQuery(plan, ExecutionConfig(mode=Mode.UPA))
+    result = query.run(events)
+    print(result.answer())
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..core.annotate import explain
+from ..core.metrics import Counters
+from ..core.plan import LogicalNode
+from ..streams.stream import Event
+from .executor import Executor, RunResult
+from .strategies import CompiledQuery, ExecutionConfig, Mode, compile_plan
+
+
+class ContinuousQuery:
+    """A compiled, runnable continuous query."""
+
+    def __init__(self, plan: LogicalNode,
+                 config: ExecutionConfig | None = None):
+        self.plan = plan
+        self.config = config if config is not None else ExecutionConfig()
+        self.counters = Counters()
+        self.compiled: CompiledQuery = compile_plan(plan, self.config,
+                                                    self.counters)
+        self.executor = Executor(self.compiled)
+
+    def run(self, events: Iterable[Event],
+            on_event: Callable[[Executor, Event], None] | None = None
+            ) -> RunResult:
+        """Process the events and return the run's result object."""
+        return self.executor.run(events, on_event)
+
+    def answer(self):
+        """Current result multiset Q(now)."""
+        return self.executor.answer()
+
+    def subscribe(self, callback) -> None:
+        """Receive the output stream (insertions and negative tuples)."""
+        self.executor.subscribe(callback)
+
+    def explain(self) -> str:
+        """The annotated plan as an indented tree (Figure 6, textually)."""
+        return explain(self.plan, self.compiled.annotated)
+
+    @property
+    def mode(self) -> Mode:
+        return self.config.mode
+
+    def __repr__(self) -> str:
+        return f"ContinuousQuery(mode={self.mode.value}, plan={self.plan!r})"
+
+
+def run_query(plan: LogicalNode, events: Iterable[Event],
+              mode: Mode = Mode.UPA, **config_kwargs) -> RunResult:
+    """One-shot convenience: compile, run and return the result."""
+    config = ExecutionConfig(mode=mode, **config_kwargs)
+    return ContinuousQuery(plan, config).run(events)

@@ -1,0 +1,497 @@
+"""Compilation of annotated logical plans into physical pipelines.
+
+This module is where the three execution strategies of the paper differ:
+
+* **NT** (negative tuple approach, Section 2.3.1): windows are materialized
+  and emit a negative tuple per expiration; all state and the result view
+  are hash tables keyed so that negatives delete in O(1); nothing is ever
+  purged by timestamp, but every tuple is processed twice.
+* **DIRECT** (Section 2.3.2): nothing is materialized at the leaves and no
+  negatives flow (so the plan must be negation-free); state buffers and the
+  result view are pattern-unaware arrival-ordered lists whose expiration
+  requires sequential scans.
+* **UPA** (Section 5): buffers are chosen per input edge from the plan's
+  update-pattern annotation — FIFO for WKS, partitioned for WK — duplicate
+  elimination uses the δ operator on WKS/WK input, and STR (sub)results use
+  either partitioned storage with rare premature-deletion scans or the
+  hybrid scheme where everything above the negation runs negative-tuple
+  style over hash tables (Section 5.4.3).
+
+The physical pipeline mirrors the logical tree; operators are
+strategy-agnostic and receive their behaviour through the buffers and flags
+plugged in here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from ..buffers.base import StateBuffer
+from ..buffers.fifo import FifoBuffer
+from ..buffers.hashed import HashBuffer
+from ..buffers.listbuffer import ListBuffer
+from ..buffers.partitioned import PartitionedBuffer
+from ..core.annotate import AnnotatedPlan, annotate
+from ..core.metrics import Counters
+from ..core.patterns import MONOTONIC, STR, UpdatePattern, WK, WKS
+from ..core.plan import (
+    DupElim,
+    GroupBy,
+    Intersect,
+    Join,
+    LogicalNode,
+    Negation,
+    NRRJoin,
+    Project,
+    RelationJoin,
+    Rename,
+    Select,
+    Union,
+    WindowScan,
+)
+from ..core.tuples import deletion_key
+from ..errors import PlanError
+from ..operators.base import PhysicalOperator
+from ..operators.dupelim import DupElimDeltaOp, DupElimStandardOp
+from ..operators.groupby import GroupByOp
+from ..operators.join import IntersectOp, JoinOp
+from ..operators.negation import NegationOp
+from ..operators.relation_join import NRRJoinOp, RelationJoinOp
+from ..operators.stateless import ProjectOp, SelectOp, UnionOp, WindowOp
+from ..streams.window import CountWindow, TimeWindow
+from .views import AppendView, BufferView, GroupView, ResultView
+
+
+class Mode(str, enum.Enum):
+    """The three execution strategies compared in the paper."""
+
+    NT = "nt"
+    DIRECT = "direct"
+    UPA = "upa"
+
+
+#: STR result storage schemes for UPA (Section 5.3.2 / 5.4.3).
+STR_PARTITIONED = "partitioned"
+STR_NEGATIVE = "negative"
+STR_AUTO = "auto"
+
+
+@dataclasses.dataclass
+class ExecutionConfig:
+    """Tunable physical parameters (Section 6.1's experimental knobs)."""
+
+    mode: Mode = Mode.UPA
+    n_partitions: int = 10
+    #: Period of lazy state maintenance, in time units.  None → 5% of the
+    #: largest window size (the paper's default).
+    lazy_interval: float | None = None
+    #: UPA only: how STR (sub)results are stored.
+    str_storage: str = STR_AUTO
+    #: Estimated fraction of results that expire prematurely; drives the
+    #: ``auto`` choice above (Section 5.3.2: partitioned when premature
+    #: expirations are rare, negative-tuple style when they dominate).
+    premature_frequency: float | None = None
+    #: Stateful operators over *unbounded* streams accumulate state without
+    #: limit — the feasibility problem sliding windows exist to solve
+    #: (Section 1).  Compilation rejects such plans unless explicitly
+    #: permitted (e.g. for bounded experiments).
+    allow_unbounded_state: bool = False
+
+    def resolved_str_storage(self) -> str:
+        """The STR scheme after resolving ``auto`` (Section 5.3.2's rule)."""
+        if self.str_storage != STR_AUTO:
+            return self.str_storage
+        if self.premature_frequency is not None and self.premature_frequency > 0.25:
+            return STR_NEGATIVE
+        return STR_PARTITIONED
+
+
+class CompiledQuery:
+    """A physical pipeline ready for the executor."""
+
+    def __init__(self, root: LogicalNode, annotated: AnnotatedPlan,
+                 config: ExecutionConfig, counters: Counters):
+        self.root = root
+        self.annotated = annotated
+        self.config = config
+        self.counters = counters
+        self.ops: dict[int, PhysicalOperator] = {}  # id(logical) -> physical
+        self.routes: dict[int, list[tuple[PhysicalOperator, int]]] = {}
+        self.leaf_bindings: dict[str, list[WindowOp]] = {}
+        self.relation_bindings: dict[str, list[RelationJoinOp]] = {}
+        self.relations: dict[str, object] = {}  # name -> Relation | NRR
+        self.expire_ops: list[PhysicalOperator] = []  # bottom-up order
+        self.lazy_ops: list[PhysicalOperator] = []
+        self.view: ResultView = AppendView(counters)
+        self.time_domain = "time"
+        self.count_stream: str | None = None
+        self.max_span: float | None = None
+
+    def route_of(self, op: PhysicalOperator) -> list[tuple[PhysicalOperator, int]]:
+        return self.routes[id(op)]
+
+    def op_for(self, node: LogicalNode) -> PhysicalOperator:
+        return self.ops[id(node)]
+
+    def state_size(self) -> int:
+        """Total tuples held across all operator state (not the view)."""
+        return sum(op.state_size() for op in self.ops.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledQuery(mode={self.config.mode.value}, "
+            f"ops={len(self.ops)}, view={type(self.view).__name__})"
+        )
+
+
+def compile_plan(root: LogicalNode, config: ExecutionConfig,
+                 counters: Counters | None = None) -> CompiledQuery:
+    """Compile a logical plan under the given strategy."""
+    counters = counters if counters is not None else Counters()
+    annotated = annotate(root)
+    _validate(root, annotated, config)
+    compiled = CompiledQuery(root, annotated, config, counters)
+    _inspect_windows(root, compiled)
+
+    hybrid = (
+        config.mode is Mode.UPA
+        and annotated.contains_strict()
+        and config.resolved_str_storage() == STR_NEGATIVE
+    )
+    direct_region = _direct_region(root) if hybrid else set()
+
+    for node in root.walk():
+        _build_node(node, compiled, annotated, config, hybrid, direct_region)
+
+    _wire_routes(root, compiled)
+    _build_view(root, compiled, annotated, config, hybrid)
+    return compiled
+
+
+# ---------------------------------------------------------------------------
+# validation
+# ---------------------------------------------------------------------------
+
+def _validate(root: LogicalNode, annotated: AnnotatedPlan,
+              config: ExecutionConfig) -> None:
+    for node in root.walk():
+        if isinstance(node, GroupBy) and node is not root:
+            raise PlanError(
+                "GroupBy must be the plan root: its replacement-keyed output "
+                "cannot feed other operators in this implementation"
+            )
+        if isinstance(node, NRRJoin) and config.mode is Mode.NT:
+            raise PlanError(
+                "NRR-joins cannot run under the negative tuple approach: "
+                "they are incapable of processing negative tuples "
+                "(Section 5.4.2)"
+            )
+    if config.mode is Mode.DIRECT and annotated.contains_strict():
+        raise PlanError(
+            "the direct approach supports only negation-free plans without "
+            "retroactive relation joins (Section 3.1: only non-STR results "
+            "can be maintained without negative tuples)"
+        )
+    if config.str_storage not in (STR_AUTO, STR_PARTITIONED, STR_NEGATIVE):
+        raise PlanError(f"unknown str_storage {config.str_storage!r}")
+    if not config.allow_unbounded_state:
+        _reject_unbounded_state(root, annotated)
+
+
+#: Stateful logical operators: their inputs are stored, so a MONOTONIC
+#: (never-expiring) input means unbounded memory.
+_STATEFUL = (Join, Intersect, DupElim, GroupBy, Negation, RelationJoin)
+
+
+def _reject_unbounded_state(root: LogicalNode,
+                            annotated: AnnotatedPlan) -> None:
+    for node in root.walk():
+        if not isinstance(node, _STATEFUL):
+            continue
+        for child in node.children:
+            if annotated.pattern_of(child) is MONOTONIC:
+                raise PlanError(
+                    f"{node.describe()} stores its input, but the input "
+                    "below it is an unbounded stream whose tuples never "
+                    "expire: state would grow without limit (Section 1). "
+                    "Bound the stream with a sliding window, or set "
+                    "allow_unbounded_state=True for bounded experiments."
+                )
+
+
+def _inspect_windows(root: LogicalNode, compiled: CompiledQuery) -> None:
+    leaves = root.leaves()
+    time_leaves = [l for l in leaves
+                   if isinstance(l.stream.window, TimeWindow)]
+    count_leaves = [l for l in leaves
+                    if isinstance(l.stream.window, CountWindow)]
+    if count_leaves and time_leaves:
+        raise PlanError(
+            "mixing time-based and count-based windows in one plan is not "
+            "supported (their expiration domains are incomparable)"
+        )
+    if count_leaves:
+        streams = {l.stream.name for l in count_leaves}
+        all_streams = {l.stream.name for l in leaves}
+        if len(all_streams) > 1:
+            raise PlanError(
+                "count-based windows are supported for single-stream plans "
+                "only (the sequence clock is per-stream); got streams "
+                f"{sorted(all_streams)}"
+            )
+        compiled.time_domain = "count"
+        compiled.count_stream = next(iter(streams))
+    spans = [l.stream.window.span for l in leaves if l.stream.window is not None]
+    compiled.max_span = max(spans) if spans else None
+
+
+def _direct_region(root: LogicalNode) -> set[int]:
+    """Nodes strictly below a Negation: they run direct under the hybrid
+    scheme (Section 5.4.3: "all the operators below negation use the direct
+    approach without generating negative tuples")."""
+    region: set[int] = set()
+
+    def mark(node: LogicalNode) -> None:
+        for sub in node.walk():
+            region.add(id(sub))
+
+    def visit(node: LogicalNode) -> None:
+        if isinstance(node, Negation):
+            for child in node.children:
+                mark(child)
+        else:
+            for child in node.children:
+                visit(child)
+
+    visit(root)
+    return region
+
+
+# ---------------------------------------------------------------------------
+# per-node construction
+# ---------------------------------------------------------------------------
+
+def _build_node(node: LogicalNode, compiled: CompiledQuery,
+                annotated: AnnotatedPlan, config: ExecutionConfig,
+                hybrid: bool, direct_region: set[int]) -> None:
+    counters = compiled.counters
+    mode = config.mode
+    nt_style = mode is Mode.NT or (hybrid and id(node) not in direct_region)
+
+    def buffer_for(pattern: UpdatePattern, key_of) -> StateBuffer:
+        return _make_buffer(pattern, key_of, nt_style, mode, config,
+                            compiled.max_span, counters)
+
+    op: PhysicalOperator
+
+    if isinstance(node, WindowScan):
+        materialize = nt_style and node.stream.window is not None
+        op = WindowOp(node.schema, node.stream.window,
+                      materialize=materialize, counters=counters,
+                      name=node.stream.name)
+        compiled.leaf_bindings.setdefault(node.stream.name, []).append(op)
+        if materialize:
+            compiled.expire_ops.append(op)
+
+    elif isinstance(node, Select):
+        op = SelectOp(node.schema, node.predicate.fn, counters,
+                      label=node.predicate.label)
+
+    elif isinstance(node, Project):
+        op = ProjectOp(node.schema, node.indices, counters)
+
+    elif isinstance(node, Rename):
+        # Values are untouched: renaming is a pure pass-through at runtime.
+        op = UnionOp(node.schema, counters)
+
+    elif isinstance(node, Union):
+        op = UnionOp(node.schema, counters)
+
+    elif isinstance(node, Join):
+        li = node.left.schema.index_of(node.left_attr)
+        ri = node.right.schema.index_of(node.right_attr)
+        lp = annotated.pattern_of(node.left)
+        rp = annotated.pattern_of(node.right)
+        op = JoinOp(
+            node.schema, li, ri,
+            buffer_for(lp, lambda t, i=li: t.values[i]),
+            buffer_for(rp, lambda t, i=ri: t.values[i]),
+            counters,
+        )
+        compiled.lazy_ops.append(op)
+
+    elif isinstance(node, Intersect):
+        lp = annotated.pattern_of(node.children[0])
+        rp = annotated.pattern_of(node.children[1])
+        values_of = lambda t: t.values  # noqa: E731
+        op = IntersectOp(node.schema, buffer_for(lp, values_of),
+                         buffer_for(rp, values_of), counters)
+        compiled.lazy_ops.append(op)
+
+    elif isinstance(node, DupElim):
+        pattern = annotated.pattern_of(node.child)
+        # Representatives expire out of generation order even over WKS
+        # input (Figure 2), so the output state follows the *output*
+        # pattern (WK, or STR over STR input).
+        out_pattern = annotated.pattern_of(node)
+        values_of = lambda t: t.values  # noqa: E731
+        use_delta = (
+            mode is Mode.UPA and pattern is not STR
+            and not nt_style
+        )
+        if use_delta:
+            op = DupElimDeltaOp(node.schema,
+                                buffer_for(out_pattern, values_of),
+                                counters)
+        else:
+            op = DupElimStandardOp(
+                node.schema,
+                buffer_for(pattern, values_of),
+                buffer_for(out_pattern, values_of),
+                counters,
+            )
+            compiled.lazy_ops.append(op)
+        if not nt_style:
+            compiled.expire_ops.append(op)
+
+    elif isinstance(node, GroupBy):
+        key_idx = node.child.schema.indices_of(node.keys)
+        agg_kinds = tuple(a.kind for a in node.aggregates)
+        agg_idx = tuple(
+            node.child.schema.index_of(a.attr) if a.attr is not None else None
+            for a in node.aggregates
+        )
+        pattern = annotated.pattern_of(node.child)
+        values_of = lambda t: t.values  # noqa: E731
+        op = GroupByOp(node.schema, key_idx, agg_kinds, agg_idx,
+                       buffer_for(pattern, values_of), counters)
+        if not nt_style:
+            compiled.expire_ops.append(op)
+
+    elif isinstance(node, Negation):
+        li = node.left.schema.index_of(node.left_attr)
+        ri = node.right.schema.index_of(node.right_attr)
+        # Under NT the windows below deliver negatives, so the operator does
+        # not self-expire; under hybrid/UPA/direct-below it detects its own
+        # expirations.  emit_all makes every answer expiration explicit, for
+        # hash-keyed downstream state (NT and hybrid).
+        self_expire = mode is not Mode.NT
+        emit_all = mode is Mode.NT or (hybrid and id(node) not in direct_region)
+        op = NegationOp(node.schema, li, ri, emit_all=emit_all,
+                        self_expire=self_expire, counters=counters)
+        if self_expire:
+            compiled.expire_ops.append(op)
+
+    elif isinstance(node, NRRJoin):
+        li = node.child.schema.index_of(node.left_attr)
+        ri = node.nrr.schema.index_of(node.rel_attr)
+        node.nrr.ensure_index(ri)
+        op = NRRJoinOp(node.schema, node.nrr, li, ri, counters)
+        compiled.relations[node.nrr.name] = node.nrr
+
+    elif isinstance(node, RelationJoin):
+        li = node.child.schema.index_of(node.left_attr)
+        ri = node.relation.schema.index_of(node.rel_attr)
+        node.relation.ensure_index(ri)
+        pattern = annotated.pattern_of(node.child)
+        emit_all = nt_style
+        op = RelationJoinOp(
+            node.schema, node.relation, li, ri,
+            buffer_for(pattern, lambda t, i=li: t.values[i]),
+            emit_all=emit_all, counters=counters,
+        )
+        compiled.relation_bindings.setdefault(node.relation.name, []).append(op)
+        compiled.relations[node.relation.name] = node.relation
+        if emit_all and mode is not Mode.NT:
+            compiled.expire_ops.append(op)
+        if not emit_all:
+            compiled.lazy_ops.append(op)
+
+    else:  # pragma: no cover - exhaustive over the algebra
+        raise PlanError(f"no physical implementation for {node!r}")
+
+    compiled.ops[id(node)] = op
+
+
+def _make_buffer(pattern: UpdatePattern, key_of, nt_style: bool, mode: Mode,
+                 config: ExecutionConfig, max_span: float | None,
+                 counters: Counters) -> StateBuffer:
+    """Pick the physical structure for state fed by an edge with ``pattern``."""
+    if nt_style:
+        return HashBuffer(key_of, counters)
+    if mode is Mode.DIRECT:
+        return ListBuffer(key_of, counters)
+    # UPA, direct-style region: pattern-aware choice (Section 5.3.2).
+    if pattern in (MONOTONIC, WKS):
+        return FifoBuffer(key_of, counters)
+    if max_span is None:
+        # Only reachable with allow_unbounded_state: there are no windows,
+        # so nothing ever expires and partitioning by expiration time is
+        # meaningless — a plain list suffices.
+        return ListBuffer(key_of, counters)
+    # WK and (rare-premature) STR input both use the partitioned structure;
+    # STR premature deletions scan a single partition.
+    return PartitionedBuffer(max_span, config.n_partitions, key_of, counters)
+
+
+# ---------------------------------------------------------------------------
+# routing and the view
+# ---------------------------------------------------------------------------
+
+def _wire_routes(root: LogicalNode, compiled: CompiledQuery) -> None:
+    """Compute, for every physical op, the (parent, input-slot) chain to the
+    root, which the executor uses to propagate emissions."""
+    parent_of: dict[int, tuple[LogicalNode, int]] = {}
+    for node in root.walk():
+        for slot, child in enumerate(node.children):
+            parent_of[id(child)] = (node, slot)
+
+    for node in root.walk():
+        route: list[tuple[PhysicalOperator, int]] = []
+        cursor = node
+        while id(cursor) in parent_of:
+            parent, slot = parent_of[id(cursor)]
+            route.append((compiled.op_for(parent), slot))
+            cursor = parent
+        compiled.routes[id(compiled.op_for(node))] = route
+
+
+def _build_view(root: LogicalNode, compiled: CompiledQuery,
+                annotated: AnnotatedPlan, config: ExecutionConfig,
+                hybrid: bool) -> None:
+    counters = compiled.counters
+    pattern = annotated.output_pattern
+
+    if isinstance(root, GroupBy):
+        compiled.view = GroupView(len(root.keys), counters)
+        return
+    if pattern is MONOTONIC:
+        compiled.view = AppendView(counters)
+        return
+
+    mode = config.mode
+    if mode is Mode.NT or (mode is Mode.UPA and pattern is STR
+                           and config.resolved_str_storage() == STR_NEGATIVE):
+        compiled.view = BufferView(HashBuffer(deletion_key, counters),
+                                   purges=False, counters=counters)
+        return
+    if mode is Mode.DIRECT:
+        compiled.view = BufferView(ListBuffer(deletion_key, counters),
+                                   purges=True, counters=counters)
+        return
+    # UPA direct-style views.
+    if pattern is WKS:
+        compiled.view = BufferView(FifoBuffer(deletion_key, counters),
+                                   purges=True, counters=counters)
+        return
+    if compiled.max_span is None:
+        # allow_unbounded_state runs: nothing expires, a list view suffices.
+        compiled.view = BufferView(ListBuffer(deletion_key, counters),
+                                   purges=False, counters=counters)
+        return
+    compiled.view = BufferView(
+        PartitionedBuffer(compiled.max_span, config.n_partitions,
+                          deletion_key, counters),
+        purges=True, counters=counters,
+    )

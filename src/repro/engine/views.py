@@ -1,0 +1,152 @@
+"""Materialized result views.
+
+Definition 2: "the output of non-monotonic queries (weakest, weak, or
+strict) is a materialized view that reflects all the real (insertions) and
+negative (deletions) tuples that have been produced on the output stream."
+The view must also drop results whose ``exp`` timestamps have passed, unless
+every expiration is signalled by a negative tuple (the NT and hybrid
+schemes, where the view is a hash table and timestamp purging is never
+needed).
+
+The physical structure of the view is a strategy decision, exactly like the
+operators' state buffers: an arrival-ordered list under DIRECT (full-scan
+purges), a FIFO queue for WKS output, a partitioned buffer for WK output,
+and a hash table keyed on ``(values, exp)`` under NT / hybrid.  Group-by
+results live in a :class:`GroupStore` keyed by group.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as Multiset
+from typing import Any
+
+from ..buffers.base import StateBuffer
+from ..buffers.groupstore import GroupStore
+from ..core.metrics import Counters, NULL_COUNTERS
+from ..core.tuples import Tuple
+
+
+class ResultView:
+    """Protocol for materialized query results."""
+
+    def __init__(self, counters: Counters | None = None):
+        self.counters = counters if counters is not None else NULL_COUNTERS
+
+    def apply(self, t: Tuple, now: float) -> None:
+        """Install a positive result or process a negative one."""
+        raise NotImplementedError
+
+    def purge(self, now: float) -> None:
+        """Drop results whose expiration timestamps have passed."""
+        raise NotImplementedError
+
+    def snapshot(self, now: float) -> Multiset:
+        """Multiset of live result values — the query answer Q(now).
+
+        Used by tests and examples; does not charge state touches.
+        """
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class BufferView(ResultView):
+    """A view backed by any :class:`StateBuffer`.
+
+    ``purges`` says whether timestamp-based purging is required: True for
+    the direct-style views (list / FIFO / partitioned), False for hash views
+    whose deletions all arrive as negative tuples.
+    """
+
+    def __init__(self, buffer: StateBuffer, purges: bool = True,
+                 counters: Counters | None = None):
+        super().__init__(counters)
+        self._buffer = buffer
+        self.purges = purges
+
+    def apply(self, t: Tuple, now: float) -> None:
+        if t.is_negative:
+            self._buffer.delete(t)
+        else:
+            self._buffer.insert(t)
+
+    def purge(self, now: float) -> None:
+        if self.purges:
+            self._buffer.purge_expired(now)
+
+    def snapshot(self, now: float) -> Multiset:
+        return Multiset(t.values for t in self._buffer if t.exp > now)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def buffer(self) -> StateBuffer:
+        return self._buffer
+
+    def __repr__(self) -> str:
+        return f"BufferView({self._buffer!r}, purges={self.purges})"
+
+
+class AppendView(ResultView):
+    """Append-only view for monotonic output (results never expire)."""
+
+    def __init__(self, counters: Counters | None = None):
+        super().__init__(counters)
+        self._results: list[Tuple] = []
+
+    def apply(self, t: Tuple, now: float) -> None:
+        if t.is_negative:
+            raise AssertionError(
+                "monotonic output produced a negative tuple; the plan was "
+                "mis-annotated"
+            )
+        self._results.append(t)
+        self.counters.touches += 1
+
+    def purge(self, now: float) -> None:
+        pass
+
+    def snapshot(self, now: float) -> Multiset:
+        return Multiset(t.values for t in self._results)
+
+    def results(self) -> list[Tuple]:
+        """The full append-only output stream."""
+        return list(self._results)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+
+class GroupView(ResultView):
+    """View for group-by roots: one current result per group.
+
+    A NEGATIVE-signed emission from :class:`GroupByOp` marks group deletion
+    (the group ran out of live input tuples).
+    """
+
+    def __init__(self, n_keys: int, counters: Counters | None = None):
+        super().__init__(counters)
+        self._store = GroupStore(counters)
+        self._n_keys = n_keys
+
+    def apply(self, t: Tuple, now: float) -> None:
+        group: Any = t.values[: self._n_keys]
+        if t.is_negative:
+            self._store.replace(group, None)
+        else:
+            self._store.replace(group, t)
+
+    def purge(self, now: float) -> None:
+        pass  # group results are replaced, never timestamp-purged (Rule 4)
+
+    def snapshot(self, now: float) -> Multiset:
+        return Multiset(t.values for t in self._store)
+
+    def groups(self) -> dict[Any, Tuple]:
+        """Current group → result mapping."""
+        return self._store.snapshot()
+
+    def __len__(self) -> int:
+        return len(self._store)

@@ -1,0 +1,25 @@
+"""Fluent query-building API."""
+
+from .builder import (
+    QueryBuilder,
+    agg_max,
+    agg_min,
+    agg_sum,
+    avg,
+    count,
+    from_window,
+    stddev,
+    variance,
+)
+
+__all__ = [
+    "QueryBuilder",
+    "agg_max",
+    "agg_min",
+    "agg_sum",
+    "avg",
+    "count",
+    "from_window",
+    "stddev",
+    "variance",
+]

@@ -1,0 +1,123 @@
+"""Abstract syntax tree for the CQL-flavoured query language.
+
+The parse tree mirrors the textual structure; it is compiled against a
+:class:`repro.lang.catalog.SourceCatalog` into the logical plan algebra by
+:mod:`repro.lang.compiler`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+
+@dataclasses.dataclass(frozen=True)
+class WindowClause:
+    """``[RANGE n]``, ``[ROWS n]`` or ``[UNBOUNDED]`` after a source name."""
+
+    kind: str           # "range" | "rows" | "unbounded"
+    size: float | None  # None for unbounded
+
+    RANGE = "range"
+    ROWS = "rows"
+    UNBOUNDED = "unbounded"
+
+
+@dataclasses.dataclass(frozen=True)
+class SourceRef:
+    """A stream / relation / NRR reference with optional window and alias,
+    or an aliased subquery (``(SELECT ...) AS name``)."""
+
+    name: str
+    window: WindowClause | None = None
+    alias: str | None = None
+    subquery: "QueryAst | None" = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias if self.alias is not None else self.name
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnRef:
+    """``attr`` or ``source.attr``."""
+
+    name: str
+    qualifier: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclasses.dataclass(frozen=True)
+class Comparison:
+    """``column op literal`` in a WHERE clause."""
+
+    column: ColumnRef
+    op: str           # = != < <= > >=
+    literal: Any
+
+
+@dataclasses.dataclass(frozen=True)
+class JoinClause:
+    """``JOIN source ON left = right``."""
+
+    source: SourceRef
+    left: ColumnRef
+    right: ColumnRef
+
+
+@dataclasses.dataclass(frozen=True)
+class MinusClause:
+    """``MINUS source ON column`` — Equation-1 negation on one attribute."""
+
+    source: SourceRef
+    column: ColumnRef
+
+
+@dataclasses.dataclass(frozen=True)
+class SetClause:
+    """``UNION source`` / ``INTERSECT source`` (schemas must match)."""
+
+    op: str            # "union" | "intersect"
+    source: SourceRef
+
+
+@dataclasses.dataclass(frozen=True)
+class AggregateCall:
+    """``COUNT(*)``, ``SUM(attr)``, ... with an optional alias."""
+
+    kind: str                      # count/sum/avg/min/max
+    column: ColumnRef | None       # None only for COUNT(*)
+    alias: str | None = None
+
+    def default_alias(self) -> str:
+        """Output-schema name: the AS alias or e.g. ``sum_bytes``."""
+        if self.alias is not None:
+            return self.alias
+        if self.column is None:
+            return self.kind
+        return f"{self.kind}_{self.column.name}"
+
+
+@dataclasses.dataclass(frozen=True)
+class SelectList:
+    """The projection part: columns or aggregates, optionally DISTINCT."""
+
+    distinct: bool = False
+    star: bool = False
+    columns: tuple[ColumnRef, ...] = ()
+    aggregates: tuple[AggregateCall, ...] = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryAst:
+    """A full parsed query."""
+
+    select: SelectList
+    source: SourceRef
+    joins: tuple[JoinClause, ...] = ()
+    set_ops: tuple[SetClause, ...] = ()
+    minus: MinusClause | None = None
+    where: tuple[Comparison, ...] = ()
+    group_by: tuple[ColumnRef, ...] = ()

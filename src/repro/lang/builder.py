@@ -1,0 +1,159 @@
+"""Fluent builder for continuous query plans.
+
+A thin, chainable wrapper over the logical algebra::
+
+    from repro.lang import from_window
+
+    q = (
+        from_window(link1)
+        .where(attr_equals("protocol", "ftp", selectivity=0.1))
+        .join(from_window(link2), on="src_ip")
+        .build()
+    )
+
+Every method returns a new :class:`QueryBuilder`; builders are immutable, so
+partial queries can be reused (e.g. both rewritings of the paper's Query 5
+share the same building blocks).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.plan import (
+    AggregateSpec,
+    DupElim,
+    GroupBy,
+    Intersect,
+    Join,
+    LogicalNode,
+    Negation,
+    NRRJoin,
+    Predicate,
+    PredicateBuilder,
+    Project,
+    RelationJoin,
+    Rename,
+    Select,
+    Union,
+    WindowScan,
+)
+from ..streams.relation import NRR, Relation
+from ..streams.stream import StreamDef
+
+
+class QueryBuilder:
+    """Immutable chainable plan builder."""
+
+    def __init__(self, node: LogicalNode):
+        self._node = node
+
+    # -- unary ---------------------------------------------------------------
+
+    def where(self, predicate: Predicate | PredicateBuilder) -> "QueryBuilder":
+        """Selection."""
+        return QueryBuilder(Select(self._node, predicate))
+
+    def project(self, *attrs: str) -> "QueryBuilder":
+        """Projection (bag semantics)."""
+        return QueryBuilder(Project(self._node, attrs))
+
+    def rename(self, *names: str) -> "QueryBuilder":
+        """Relational ρ: rename all attributes positionally."""
+        return QueryBuilder(Rename(self._node, names))
+
+    def distinct(self) -> "QueryBuilder":
+        """Duplicate elimination over the full value tuple."""
+        return QueryBuilder(DupElim(self._node))
+
+    # -- binary ---------------------------------------------------------------
+
+    def union(self, other: "QueryBuilder") -> "QueryBuilder":
+        return QueryBuilder(Union(self._node, other._node))
+
+    def join(self, other: "QueryBuilder", on: str,
+             right_on: str | None = None,
+             prefixes: tuple[str, str] = ("l_", "r_")) -> "QueryBuilder":
+        """Sliding-window equi-join; ``right_on`` defaults to ``on``."""
+        return QueryBuilder(Join(self._node, other._node, on,
+                                 right_on if right_on is not None else on,
+                                 prefixes))
+
+    def intersect(self, other: "QueryBuilder") -> "QueryBuilder":
+        return QueryBuilder(Intersect(self._node, other._node))
+
+    def minus(self, other: "QueryBuilder", on: str,
+              right_on: str | None = None) -> "QueryBuilder":
+        """Negation on an attribute (Equation 1 bag semantics)."""
+        return QueryBuilder(Negation(self._node, other._node, on, right_on))
+
+    # -- relations ----------------------------------------------------------------
+
+    def join_nrr(self, nrr: NRR, on: str, rel_on: str,
+                 prefixes: tuple[str, str] = ("l_", "r_")) -> "QueryBuilder":
+        """Join with a non-retroactive relation (⋈_NRR, Section 4.1)."""
+        return QueryBuilder(NRRJoin(self._node, nrr, on, rel_on, prefixes))
+
+    def join_relation(self, relation: Relation, on: str, rel_on: str,
+                      prefixes: tuple[str, str] = ("l_", "r_")
+                      ) -> "QueryBuilder":
+        """Join with a retroactively-updated relation (⋈_R, Section 4.1)."""
+        return QueryBuilder(RelationJoin(self._node, relation, on, rel_on,
+                                         prefixes))
+
+    # -- grouping --------------------------------------------------------------------
+
+    def group_by(self, keys: Sequence[str],
+                 aggregates: Sequence[AggregateSpec]) -> "QueryBuilder":
+        """Group-by with incremental aggregates (must be the final step)."""
+        return QueryBuilder(GroupBy(self._node, keys, aggregates))
+
+    def aggregate(self, *aggregates: AggregateSpec) -> "QueryBuilder":
+        """Aggregation without grouping (a single global group)."""
+        return QueryBuilder(GroupBy(self._node, (), aggregates))
+
+    # -- terminal ---------------------------------------------------------------------
+
+    def build(self) -> LogicalNode:
+        """The logical plan."""
+        return self._node
+
+    @property
+    def schema(self):
+        return self._node.schema
+
+    def __repr__(self) -> str:
+        return f"QueryBuilder({self._node!r})"
+
+
+def from_window(stream: StreamDef) -> QueryBuilder:
+    """Start a query from a base stream (with or without a window)."""
+    return QueryBuilder(WindowScan(stream))
+
+
+def count(alias: str = "count") -> AggregateSpec:
+    return AggregateSpec("count", None, alias)
+
+
+def agg_sum(attr: str, alias: str | None = None) -> AggregateSpec:
+    return AggregateSpec("sum", attr, alias or f"sum_{attr}")
+
+
+def avg(attr: str, alias: str | None = None) -> AggregateSpec:
+    return AggregateSpec("avg", attr, alias or f"avg_{attr}")
+
+
+def agg_min(attr: str, alias: str | None = None) -> AggregateSpec:
+    return AggregateSpec("min", attr, alias or f"min_{attr}")
+
+
+def agg_max(attr: str, alias: str | None = None) -> AggregateSpec:
+    return AggregateSpec("max", attr, alias or f"max_{attr}")
+
+
+def variance(attr: str, alias: str | None = None) -> AggregateSpec:
+    return AggregateSpec("var", attr, alias or f"var_{attr}")
+
+
+def stddev(attr: str, alias: str | None = None) -> AggregateSpec:
+    return AggregateSpec("stddev", attr, alias or f"stddev_{attr}")

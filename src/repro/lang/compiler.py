@@ -1,0 +1,330 @@
+"""Compilation of parsed query text into logical plans.
+
+The compiler resolves source names against a :class:`SourceCatalog`, tracks
+how attribute names evolve through join prefixing, and assembles the plan in
+the language's fixed clause order:
+
+    FROM/JOIN/UNION/INTERSECT/MINUS  →  WHERE  →  projection  →
+    DISTINCT  →  GROUP BY
+
+The resulting :class:`~repro.core.plan.LogicalNode` is an ordinary plan —
+the optimizer may reorder it afterwards like any hand-built plan.
+"""
+
+from __future__ import annotations
+
+import operator
+
+from ..core.plan import (
+    AggregateSpec,
+    DupElim,
+    GroupBy,
+    Intersect,
+    Join,
+    LogicalNode,
+    Negation,
+    NRRJoin,
+    Predicate,
+    Project,
+    RelationJoin,
+    Select,
+    Union,
+    WindowScan,
+)
+from ..core.tuples import Schema
+from ..errors import PlanError
+from ..streams.stream import StreamDef
+from ..streams.window import CountWindow, TimeWindow, WindowSpec
+from .ast import ColumnRef, Comparison, QueryAst, SourceRef, WindowClause
+from .catalog import SourceCatalog
+from .parser import parse
+
+_OPS = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+#: Default selectivity guesses per comparison operator (for the cost model).
+_SELECTIVITY = {"=": 0.1, "!=": 0.9, "<": 0.3, "<=": 0.3, ">": 0.3,
+                ">=": 0.3}
+
+
+class _Scope:
+    """Tracks, per source binding, original → current attribute names."""
+
+    def __init__(self) -> None:
+        self._bindings: dict[str, dict[str, str]] = {}
+
+    def add_source(self, binding: str, schema: Schema) -> None:
+        if binding in self._bindings:
+            raise PlanError(f"duplicate source binding {binding!r}; "
+                            "use AS to alias")
+        self._bindings[binding] = {attr: attr for attr in schema}
+
+    def apply_join_prefixes(self, left_schemas: set[str],
+                            right_binding: str, clashes: set[str]) -> None:
+        """Rename clashing attributes after a join with ('l_', 'r_')."""
+        for binding, mapping in self._bindings.items():
+            if binding == right_binding:
+                continue
+            for original, current in mapping.items():
+                if current in clashes:
+                    mapping[original] = f"l_{current}"
+        right = self._bindings[right_binding]
+        for original, current in right.items():
+            if current in clashes:
+                right[original] = f"r_{current}"
+
+    def resolve(self, column: ColumnRef) -> str:
+        """The current output-schema name for a column reference."""
+        if column.qualifier is not None:
+            mapping = self._bindings.get(column.qualifier)
+            if mapping is None:
+                raise PlanError(
+                    f"unknown source {column.qualifier!r} in {column}"
+                )
+            try:
+                return mapping[column.name]
+            except KeyError:
+                raise PlanError(
+                    f"source {column.qualifier!r} has no attribute "
+                    f"{column.name!r}"
+                ) from None
+        matches = {mapping[column.name]
+                   for mapping in self._bindings.values()
+                   if column.name in mapping}
+        if not matches:
+            raise PlanError(f"unknown attribute {column.name!r}")
+        if len(matches) > 1:
+            raise PlanError(
+                f"ambiguous attribute {column.name!r} "
+                f"(candidates: {sorted(matches)}); qualify it"
+            )
+        return matches.pop()
+
+
+class QueryCompiler:
+    """Compiles query text (or a parsed AST) into a logical plan."""
+
+    def __init__(self, catalog: SourceCatalog):
+        self.catalog = catalog
+
+    # -- public API ---------------------------------------------------------------
+
+    def compile(self, text_or_ast: str | QueryAst) -> LogicalNode:
+        """Parse (if needed) and compile into a logical plan."""
+        ast = (parse(text_or_ast) if isinstance(text_or_ast, str)
+               else text_or_ast)
+        scope = _Scope()
+        plan = self._from_clause(ast.source, scope)
+        for join in ast.joins:
+            plan = self._join_clause(plan, join, scope)
+        for set_op in ast.set_ops:
+            plan = self._set_clause(plan, set_op, scope)
+        if ast.minus is not None:
+            plan = self._minus_clause(plan, ast.minus, scope)
+        for comparison in ast.where:
+            plan = Select(plan, self._predicate(plan.schema, comparison,
+                                                scope))
+        return self._shape_output(plan, ast, scope)
+
+    # -- clause handling ------------------------------------------------------------
+
+    def _from_clause(self, source: SourceRef, scope: _Scope) -> LogicalNode:
+        if source.subquery is not None:
+            node = self._subquery_plan(source)
+            scope.add_source(source.binding, node.schema)
+            return node
+        if self.catalog.is_relation(source.name):
+            raise PlanError(
+                f"{source.name!r} is a relation; relations can only be "
+                "joined (they do not drive a continuous query)"
+            )
+        node = WindowScan(self._stream_def(source))
+        scope.add_source(source.binding, node.schema)
+        return node
+
+    def _subquery_plan(self, source: SourceRef) -> LogicalNode:
+        """Compile an aliased subquery into a plan usable as a source."""
+        plan = self.compile(source.subquery)
+        if isinstance(plan, GroupBy):
+            raise PlanError(
+                "a GROUP BY subquery cannot feed other operators: group "
+                "results are replacement-keyed (see GroupBy docs); "
+                "aggregate at the outermost level instead"
+            )
+        return plan
+
+    def _stream_def(self, source: SourceRef) -> StreamDef:
+        schema, rate = self.catalog.stream(source.name)
+        return StreamDef(source.name, schema,
+                         self._window(source.window), rate=rate)
+
+    @staticmethod
+    def _window(clause: WindowClause | None) -> WindowSpec | None:
+        if clause is None or clause.kind == WindowClause.UNBOUNDED:
+            return None
+        if clause.kind == WindowClause.RANGE:
+            return TimeWindow(clause.size)
+        return CountWindow(int(clause.size))
+
+    def _join_clause(self, plan: LogicalNode, join, scope: _Scope
+                     ) -> LogicalNode:
+        source = join.source
+        if source.subquery is not None:
+            right: LogicalNode = self._subquery_plan(source)
+        elif self.catalog.is_relation(source.name):
+            return self._relation_join(plan, join, scope)
+        else:
+            right = WindowScan(self._stream_def(source))
+        scope.add_source(source.binding, right.schema)
+        left_col, right_col = self._orient(join.left, join.right,
+                                           source.binding)
+        left_attr = self._resolve(scope, left_col, plan.schema)
+        right_attr = right_col.name
+        if right_attr not in right.schema:
+            raise PlanError(
+                f"join attribute {right_attr!r} not in {source.name!r}"
+            )
+        clashes = set(plan.schema.fields) & set(right.schema.fields)
+        joined = Join(plan, right, left_attr, right_attr)
+        scope.apply_join_prefixes(set(plan.schema.fields), source.binding,
+                                  clashes)
+        return joined
+
+    def _relation_join(self, plan: LogicalNode, join, scope: _Scope
+                       ) -> LogicalNode:
+        source = join.source
+        relation = self.catalog.relation(source.name)
+        left_col, rel_col = self._orient(join.left, join.right,
+                                         source.binding)
+        left_attr = self._resolve(scope, left_col, plan.schema)
+        rel_attr = rel_col.name
+        if rel_attr not in relation.schema:
+            raise PlanError(
+                f"join attribute {rel_attr!r} not in relation "
+                f"{relation.name!r}"
+            )
+        clashes = set(plan.schema.fields) & set(relation.schema.fields)
+        if self.catalog.is_nrr(source.name):
+            joined: LogicalNode = NRRJoin(plan, relation, left_attr, rel_attr)
+        else:
+            joined = RelationJoin(plan, relation, left_attr, rel_attr)
+        scope.add_source(source.binding, relation.schema)
+        scope.apply_join_prefixes(set(plan.schema.fields), source.binding,
+                                  clashes)
+        return joined
+
+    def _orient(self, a: ColumnRef, b: ColumnRef, right_binding: str
+                ) -> tuple[ColumnRef, ColumnRef]:
+        """Order the two ON columns as (existing-plan side, new side)."""
+        if a.qualifier == right_binding:
+            return b, a
+        if b.qualifier == right_binding:
+            return a, b
+        # Unqualified: assume written as existing = new.
+        return a, b
+
+    def _set_clause(self, plan: LogicalNode, set_op, scope: _Scope
+                    ) -> LogicalNode:
+        source = set_op.source
+        if source.subquery is not None:
+            other: LogicalNode = self._subquery_plan(source)
+        elif self.catalog.is_relation(source.name):
+            raise PlanError(f"{set_op.op.upper()} requires a stream, got "
+                            f"relation {source.name!r}")
+        else:
+            other = WindowScan(self._stream_def(source))
+        if set_op.op == "union":
+            return Union(plan, other)
+        return Intersect(plan, other)
+
+    def _minus_clause(self, plan: LogicalNode, minus, scope: _Scope
+                      ) -> LogicalNode:
+        source = minus.source
+        if source.subquery is not None:
+            right: LogicalNode = self._subquery_plan(source)
+        elif self.catalog.is_relation(source.name):
+            raise PlanError("MINUS requires a stream on the right-hand side")
+        else:
+            right = WindowScan(self._stream_def(source))
+        left_attr = self._resolve(scope, ColumnRef(minus.column.name), plan.schema)
+        right_attr = minus.column.name
+        if right_attr not in right.schema:
+            raise PlanError(
+                f"negation attribute {right_attr!r} not in {source.name!r}"
+            )
+        return Negation(plan, right, left_attr, right_attr)
+
+    @staticmethod
+    def _resolve(scope: _Scope, column: ColumnRef,
+                 schema: Schema) -> str:
+        """Resolve via the scope, falling back to literal output-schema
+        names (so users may write post-prefix names like ``l_src_ip``)."""
+        try:
+            return scope.resolve(column)
+        except PlanError:
+            if column.qualifier is None and column.name in schema:
+                return column.name
+            raise
+
+    def _predicate(self, schema: Schema, comparison: Comparison,
+                   scope: _Scope) -> Predicate:
+        attr = self._resolve(scope, comparison.column, schema)
+        index = schema.index_of(attr)
+        op = _OPS[comparison.op]
+        literal = comparison.literal
+
+        def evaluate(values: tuple, _i=index, _op=op, _lit=literal) -> bool:
+            return _op(values[_i], _lit)
+
+        return Predicate(
+            (attr,), evaluate,
+            label=f"{comparison.column} {comparison.op} {literal!r}",
+            selectivity=_SELECTIVITY[comparison.op],
+        )
+
+    # -- output shaping ----------------------------------------------------------------
+
+    def _shape_output(self, plan: LogicalNode, ast: QueryAst,
+                      scope: _Scope) -> LogicalNode:
+        select = ast.select
+        if ast.group_by or (select.aggregates and not select.star):
+            if select.distinct:
+                raise PlanError("DISTINCT cannot be combined with aggregates")
+            keys = tuple(self._resolve(scope, col, plan.schema)
+                         for col in ast.group_by)
+            named = {self._resolve(scope, col, plan.schema)
+                     for col in select.columns}
+            extra = named - set(keys)
+            if extra:
+                raise PlanError(
+                    f"selected columns {sorted(extra)} are not GROUP BY keys"
+                )
+            specs = []
+            for agg in select.aggregates:
+                attr = (self._resolve(scope, agg.column, plan.schema)
+                        if agg.column is not None else None)
+                specs.append(AggregateSpec(agg.kind, attr,
+                                           agg.default_alias()))
+            if not specs:
+                raise PlanError("GROUP BY requires at least one aggregate "
+                                "in the SELECT list")
+            return GroupBy(plan, keys, specs)
+        if not select.star and select.columns:
+            attrs = tuple(self._resolve(scope, col, plan.schema)
+                          for col in select.columns)
+            if attrs != plan.schema.fields:
+                plan = Project(plan, attrs)
+        if select.distinct:
+            plan = DupElim(plan)
+        return plan
+
+
+def compile_query(text: str, catalog: SourceCatalog) -> LogicalNode:
+    """One-shot convenience: parse and compile query text."""
+    return QueryCompiler(catalog).compile(text)

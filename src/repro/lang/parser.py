@@ -1,0 +1,263 @@
+"""Recursive-descent parser for the CQL-flavoured query language.
+
+Grammar (keywords case-insensitive)::
+
+    query       := SELECT select_list FROM source clause*
+                   [WHERE comparison (AND comparison)*]
+                   [GROUP BY column (, column)*]
+    clause      := JOIN source ON column = column
+                 | UNION source | INTERSECT source
+                 | MINUS source ON column
+    select_list := [DISTINCT] ( '*' | column (, column)* | agg (, agg)* )
+    agg         := (COUNT '(' '*' ')' | SUM|AVG|MIN|MAX '(' column ')')
+                   [AS ident]
+    source      := ident [window] [AS ident]
+    window      := '[' RANGE number ']' | '[' ROWS number ']'
+                 | '[' UNBOUNDED ']'
+    column      := ident [ '.' ident ]   -- optionally qualified
+    comparison  := column (= | != | <> | < | <= | > | >=) literal
+
+Examples::
+
+    SELECT DISTINCT src_ip FROM link0 [RANGE 100] WHERE protocol = 'ftp'
+    SELECT * FROM link0 [RANGE 50] JOIN link1 [RANGE 50]
+        ON link0.src_ip = link1.src_ip
+    SELECT src_ip FROM link0 [RANGE 100] MINUS link1 [RANGE 100] ON src_ip
+    SELECT protocol, COUNT(*) AS flows FROM link0 [RANGE 60]
+        GROUP BY protocol
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import PlanError
+from .ast import (
+    AggregateCall,
+    ColumnRef,
+    Comparison,
+    JoinClause,
+    MinusClause,
+    QueryAst,
+    SelectList,
+    SetClause,
+    SourceRef,
+    WindowClause,
+)
+from .tokens import Token, TokenType, tokenize
+
+_AGG_KEYWORDS = ("COUNT", "SUM", "AVG", "MIN", "MAX", "VAR", "STDDEV")
+_COMPARISON_OPS = ("=", "!=", "<>", "<=", ">=", "<", ">")
+
+
+class ParseError(PlanError):
+    """The query text does not conform to the grammar."""
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.peek().is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            self.fail(f"expected {word}")
+
+    def accept_symbol(self, symbol: str) -> bool:
+        token = self.peek()
+        if token.type is TokenType.SYMBOL and token.value == symbol:
+            self.advance()
+            return True
+        return False
+
+    def expect_symbol(self, symbol: str) -> None:
+        if not self.accept_symbol(symbol):
+            self.fail(f"expected {symbol!r}")
+
+    def expect_ident(self) -> str:
+        token = self.peek()
+        if token.type is not TokenType.IDENT:
+            self.fail("expected an identifier")
+        return self.advance().value
+
+    def fail(self, message: str) -> None:
+        token = self.peek()
+        got = token.value if token.type is not TokenType.END else "end of query"
+        raise ParseError(
+            f"{message} at position {token.position} (got {got!r}) in: "
+            f"{self.text!r}"
+        )
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse(self) -> QueryAst:
+        ast = self.parse_subquery()
+        if self.peek().type is not TokenType.END:
+            self.fail("unexpected trailing input")
+        return ast
+
+    def parse_subquery(self) -> QueryAst:
+        self.expect_keyword("SELECT")
+        select = self.select_list()
+        self.expect_keyword("FROM")
+        source = self.source()
+        joins: list[JoinClause] = []
+        set_ops: list[SetClause] = []
+        minus: MinusClause | None = None
+        while True:
+            if self.accept_keyword("JOIN"):
+                if minus is not None:
+                    self.fail("JOIN after MINUS is not supported; negation "
+                              "must be the outermost set operation")
+                join_source = self.source()
+                self.expect_keyword("ON")
+                left = self.column()
+                self.expect_symbol("=")
+                right = self.column()
+                joins.append(JoinClause(join_source, left, right))
+            elif self.accept_keyword("UNION"):
+                set_ops.append(SetClause("union", self.source()))
+            elif self.accept_keyword("INTERSECT"):
+                set_ops.append(SetClause("intersect", self.source()))
+            elif self.accept_keyword("MINUS"):
+                if minus is not None:
+                    self.fail("at most one MINUS clause is supported")
+                minus_source = self.source()
+                self.expect_keyword("ON")
+                minus = MinusClause(minus_source, self.column())
+            else:
+                break
+        where: tuple[Comparison, ...] = ()
+        if self.accept_keyword("WHERE"):
+            where = self.comparisons()
+        group_by: tuple[ColumnRef, ...] = ()
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by = self.column_list()
+        return QueryAst(select=select, source=source, joins=tuple(joins),
+                        set_ops=tuple(set_ops), minus=minus, where=where,
+                        group_by=group_by)
+
+    def select_list(self) -> SelectList:
+        distinct = self.accept_keyword("DISTINCT")
+        if self.accept_symbol("*"):
+            return SelectList(distinct=distinct, star=True)
+        columns: list[ColumnRef] = []
+        aggregates: list[AggregateCall] = []
+        while True:
+            if self.peek().type is TokenType.KEYWORD and \
+                    self.peek().value in _AGG_KEYWORDS:
+                aggregates.append(self.aggregate())
+            else:
+                columns.append(self.column())
+            if not self.accept_symbol(","):
+                break
+        return SelectList(distinct=distinct, columns=tuple(columns),
+                          aggregates=tuple(aggregates))
+
+    def aggregate(self) -> AggregateCall:
+        kind = self.advance().value  # validated by caller
+        self.expect_symbol("(")
+        if kind == "COUNT" and self.accept_symbol("*"):
+            column = None
+        else:
+            column = self.column()
+        self.expect_symbol(")")
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        return AggregateCall(kind.lower(), column, alias)
+
+    def source(self) -> SourceRef:
+        if self.accept_symbol("("):
+            subquery = self.parse_subquery()
+            self.expect_symbol(")")
+            self.expect_keyword("AS")
+            alias = self.expect_ident()
+            return SourceRef(alias, None, alias, subquery=subquery)
+        name = self.expect_ident()
+        window = None
+        if self.accept_symbol("["):
+            if self.accept_keyword("RANGE"):
+                window = WindowClause(WindowClause.RANGE, self.number())
+            elif self.accept_keyword("ROWS"):
+                window = WindowClause(WindowClause.ROWS, self.number())
+            elif self.accept_keyword("UNBOUNDED"):
+                window = WindowClause(WindowClause.UNBOUNDED, None)
+            else:
+                self.fail("expected RANGE, ROWS or UNBOUNDED")
+            self.expect_symbol("]")
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        return SourceRef(name, window, alias)
+
+    def number(self) -> float:
+        token = self.peek()
+        if token.type is not TokenType.NUMBER:
+            self.fail("expected a number")
+        self.advance()
+        return float(token.value)
+
+    def column(self) -> ColumnRef:
+        first = self.expect_ident()
+        if self.accept_symbol("."):
+            return ColumnRef(self.expect_ident(), qualifier=first)
+        return ColumnRef(first)
+
+    def column_list(self) -> tuple[ColumnRef, ...]:
+        columns = [self.column()]
+        while self.accept_symbol(","):
+            columns.append(self.column())
+        return tuple(columns)
+
+    def comparisons(self) -> tuple[Comparison, ...]:
+        out = [self.comparison()]
+        while self.accept_keyword("AND"):
+            out.append(self.comparison())
+        return tuple(out)
+
+    def comparison(self) -> Comparison:
+        column = self.column()
+        token = self.peek()
+        if token.type is not TokenType.SYMBOL or \
+                token.value not in _COMPARISON_OPS:
+            self.fail("expected a comparison operator")
+        op = self.advance().value
+        if op == "<>":
+            op = "!="
+        return Comparison(column, op, self.literal())
+
+    def literal(self) -> Any:
+        token = self.peek()
+        if token.type is TokenType.STRING:
+            self.advance()
+            return token.value
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            value = float(token.value)
+            return int(value) if value.is_integer() else value
+        self.fail("expected a literal")
+        raise AssertionError("unreachable")
+
+
+def parse(text: str) -> QueryAst:
+    """Parse query text into an AST; raises :class:`ParseError` on errors."""
+    return _Parser(text).parse()

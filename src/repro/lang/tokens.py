@@ -1,0 +1,115 @@
+"""Lexer for the CQL-flavoured continuous query language.
+
+The language front-end (see :mod:`repro.lang.parser`) accepts a small,
+CQL-inspired dialect — window specifications in brackets after stream names,
+as in the Stanford STREAM language that contemporary systems (and the paper's
+examples) assume:
+
+    SELECT DISTINCT src_ip
+    FROM link0 [RANGE 100]
+    WHERE protocol = 'ftp'
+
+The lexer produces a flat token stream; all keywords are case-insensitive,
+identifiers and string literals are case-sensitive.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from ..errors import PlanError
+
+
+class TokenType(enum.Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    END = "end"
+
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "AND", "GROUP", "BY", "JOIN",
+    "ON", "AS", "RANGE", "ROWS", "UNBOUNDED", "MINUS", "COUNT", "SUM",
+    "AVG", "MIN", "MAX", "VAR", "STDDEV", "NRR", "RELATION", "UNION", "INTERSECT",
+}
+
+SYMBOLS = ("<=", ">=", "!=", "<>", "=", "<", ">", "(", ")", "[", "]", ",",
+           "*", ".")
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    """One lexeme with its category and source position."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.value}, {self.value!r}@{self.position})"
+
+
+class LexError(PlanError):
+    """Malformed query text."""
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split query text into tokens; raises :class:`LexError` on garbage."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            end = text.find("'", i + 1)
+            if end < 0:
+                raise LexError(f"unterminated string literal at {i}")
+            tokens.append(Token(TokenType.STRING, text[i + 1:end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A dot is part of the number only when followed by a
+                    # digit (so `link0.src` lexes as ident, dot, ident).
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token(TokenType.NUMBER, text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, i))
+            i = j
+            continue
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, i):
+                tokens.append(Token(TokenType.SYMBOL, symbol, i))
+                i += len(symbol)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(TokenType.END, "", n))
+    return tokens

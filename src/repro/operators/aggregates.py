@@ -1,0 +1,171 @@
+"""Incremental aggregate functions for group-by (Section 2.1).
+
+Group-by "incrementally updates the value of a given aggregate for each
+group": every arrival adds a value, every expiration removes one, and the
+current aggregate must be reportable at any time.  COUNT/SUM/AVG are
+decrementable in O(1); MIN/MAX need the multiset of values (a sorted list
+here) because removing the current extremum requires knowing the runner-up.
+The paper's cost model calls the per-update cost C (Section 5.4.1).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any
+
+from ..errors import PlanError
+
+
+class Aggregate:
+    """Protocol: one aggregate instance per (group, spec)."""
+
+    def insert(self, value: Any) -> None:
+        """Account for a newly arrived value."""
+        raise NotImplementedError
+
+    def remove(self, value: Any) -> None:
+        """Account for an expired (or retracted) value."""
+        raise NotImplementedError
+
+    def current(self) -> Any:
+        """The aggregate's value over the currently live inputs."""
+        raise NotImplementedError
+
+
+class CountAggregate(Aggregate):
+    """COUNT — a decrementable counter."""
+
+    def __init__(self) -> None:
+        self._n = 0
+
+    def insert(self, value: Any) -> None:
+        self._n += 1
+
+    def remove(self, value: Any) -> None:
+        self._n -= 1
+
+    def current(self) -> int:
+        return self._n
+
+
+class SumAggregate(Aggregate):
+    """SUM — a running total, decrementable in O(1)."""
+
+    def __init__(self) -> None:
+        self._total = 0
+
+    def insert(self, value: Any) -> None:
+        self._total += value
+
+    def remove(self, value: Any) -> None:
+        self._total -= value
+
+    def current(self) -> Any:
+        return self._total
+
+
+class AvgAggregate(Aggregate):
+    """AVG — algebraic over (sum, count)."""
+
+    def __init__(self) -> None:
+        self._total = 0
+        self._n = 0
+
+    def insert(self, value: Any) -> None:
+        self._total += value
+        self._n += 1
+
+    def remove(self, value: Any) -> None:
+        self._total -= value
+        self._n -= 1
+
+    def current(self) -> Any:
+        return self._total / self._n if self._n else None
+
+
+class VarAggregate(Aggregate):
+    """Population variance — algebraic over (count, sum, sum of squares),
+    so it remains O(1) per insert/remove like SUM."""
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._total = 0.0
+        self._total_sq = 0.0
+
+    def insert(self, value: Any) -> None:
+        self._n += 1
+        self._total += value
+        self._total_sq += value * value
+
+    def remove(self, value: Any) -> None:
+        self._n -= 1
+        self._total -= value
+        self._total_sq -= value * value
+
+    def current(self) -> Any:
+        if not self._n:
+            return None
+        mean = self._total / self._n
+        # Guard tiny negative values from floating-point cancellation.
+        return max(self._total_sq / self._n - mean * mean, 0.0)
+
+
+class StddevAggregate(VarAggregate):
+    """Population standard deviation — the square root of VAR."""
+
+    def current(self) -> Any:
+        variance = super().current()
+        return None if variance is None else variance ** 0.5
+
+
+class _ExtremumAggregate(Aggregate):
+    """Shared machinery for MIN/MAX: a sorted multiset of live values."""
+
+    def __init__(self) -> None:
+        self._values: list[Any] = []
+
+    def insert(self, value: Any) -> None:
+        bisect.insort(self._values, value)
+
+    def remove(self, value: Any) -> None:
+        i = bisect.bisect_left(self._values, value)
+        if i < len(self._values) and self._values[i] == value:
+            del self._values[i]
+        else:
+            raise PlanError(
+                f"aggregate removal of absent value {value!r}; "
+                "group state is inconsistent"
+            )
+
+
+class MinAggregate(_ExtremumAggregate):
+    """MIN over the live multiset of values."""
+
+    def current(self) -> Any:
+        return self._values[0] if self._values else None
+
+
+class MaxAggregate(_ExtremumAggregate):
+    """MAX over the live multiset of values."""
+
+    def current(self) -> Any:
+        return self._values[-1] if self._values else None
+
+
+_FACTORIES = {
+    "count": CountAggregate,
+    "sum": SumAggregate,
+    "avg": AvgAggregate,
+    "min": MinAggregate,
+    "max": MaxAggregate,
+    "var": VarAggregate,
+    "stddev": StddevAggregate,
+}
+
+
+def make_aggregate(kind: str) -> Aggregate:
+    """Instantiate the incremental aggregate for an AggregateSpec kind."""
+    try:
+        return _FACTORIES[kind]()
+    except KeyError:
+        raise PlanError(f"unknown aggregate kind {kind!r}") from None

@@ -1,0 +1,98 @@
+"""Physical operator protocol.
+
+Section 2.3: "continuous query operators process two types of events:
+arrivals of new tuples and expirations of old tuples."  A physical operator
+therefore exposes three entry points:
+
+* :meth:`process` — a (positive or negative) tuple arrives on one of the
+  operator's inputs; the return value is the list of output tuples the event
+  produces.  Negative tuples are handled here too: every stateful operator
+  knows how to delete matching state and emit the derived negatives, so the
+  same operator classes serve all three execution strategies (NT, DIRECT and
+  UPA differ only in which buffers they plug in, whether windows emit
+  negatives, and which result view stores the output).
+* :meth:`expire` — the clock advanced; *eager* operators (duplicate
+  elimination, group-by, negation, per Section 2.3) detect their own expired
+  state and may produce new output in response.
+* :meth:`purge` — periodic lazy maintenance for operators that may keep
+  expired tuples around temporarily (e.g. join state, Section 2.1), trading
+  memory for cheaper expiration.
+
+Every operator maintains a *local clock* — the largest timestamp it has
+observed (Section 2.3.2) — which guards against premature expiration and is
+exposed for inspection and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.metrics import Counters, NULL_COUNTERS
+from ..core.tuples import Schema, Tuple
+
+
+class PhysicalOperator:
+    """Base class of all physical operators."""
+
+    #: True for operators that must react to expirations immediately because
+    #: expiration may change their output (Section 2.3).
+    eager = False
+
+    def __init__(self, schema: Schema, counters: Counters | None = None):
+        self.schema = schema
+        self.counters = counters if counters is not None else NULL_COUNTERS
+        self.clock = float("-inf")
+
+    # -- event entry points --------------------------------------------------
+
+    def process(self, input_index: int, t: Tuple, now: float) -> list[Tuple]:
+        """Handle an arrival (positive or negative) on input ``input_index``."""
+        raise NotImplementedError
+
+    def expire(self, now: float) -> list[Tuple]:
+        """Detect own expired state; return any resulting output tuples.
+
+        Only meaningful for eager operators under self-managed (direct)
+        expiration; the default is a no-op.
+        """
+        self._advance(now)
+        return []
+
+    def purge(self, now: float) -> None:
+        """Lazily drop expired state that cannot affect future output."""
+        self._advance(now)
+
+    # -- shared helpers --------------------------------------------------------
+
+    def _advance(self, now: float) -> None:
+        if now > self.clock:
+            self.clock = now
+
+    def _count(self, t: Tuple) -> None:
+        self.counters.tuples_processed += 1
+        if t.is_negative:
+            self.counters.negatives_processed += 1
+
+    def state_size(self) -> int:
+        """Total number of tuples held in this operator's state buffers."""
+        return 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(schema={list(self.schema.fields)})"
+
+
+def propagate(operators: Sequence[tuple[PhysicalOperator, int]],
+              outputs: list[Tuple], now: float) -> list[Tuple]:
+    """Push ``outputs`` through a chain of (operator, input_index) pairs.
+
+    Used by the executor to route an event from the operator that produced it
+    to the plan root.  Returns whatever survives at the end of the chain.
+    """
+    for op, input_index in operators:
+        if not outputs:
+            return []
+        next_outputs: list[Tuple] = []
+        for t in outputs:
+            next_outputs.extend(op.process(input_index, t, now))
+        outputs = next_outputs
+    return outputs

@@ -1,0 +1,115 @@
+"""Sliding-window join and intersection (Section 2.1).
+
+"Join and intersection are binary operators that store both of their inputs.
+Each new arrival is inserted into its state buffer and triggers the probing
+of the other input's state buffer to find matching results. ... The state of
+both inputs must be maintained so that expired tuples are not used during
+the probing step to produce any new results.  However, expiration can be
+done periodically (lazily), as long as expired tuples can be identified and
+skipped during processing."
+
+The operator is strategy-agnostic: the executor supplies the state buffers
+(hash tables under NT, arrival-ordered lists under DIRECT, FIFO/partitioned
+buffers under UPA).  Probing always skips expired tuples, so lazy
+maintenance never produces stale results.  Negative tuples — whether from
+NT windows, from a negation below, or from a relation join — delete the
+matching stored tuple and re-derive negatives for every result it
+participated in (Figure 3's cascade).
+"""
+
+from __future__ import annotations
+
+from ..buffers.base import StateBuffer
+from ..core.metrics import Counters
+from ..core.tuples import Schema, Tuple, join_tuples
+from .base import PhysicalOperator
+
+
+class JoinOp(PhysicalOperator):
+    """Binary equi-join over two windowed inputs."""
+
+    def __init__(self, schema: Schema, left_key: int, right_key: int,
+                 left_buffer: StateBuffer, right_buffer: StateBuffer,
+                 counters: Counters | None = None):
+        super().__init__(schema, counters)
+        self._keys = (left_key, right_key)
+        self._buffers = (left_buffer, right_buffer)
+
+    def process(self, input_index: int, t: Tuple, now: float) -> list[Tuple]:
+        self._advance(now)
+        self._count(t)
+        own = self._buffers[input_index]
+        other = self._buffers[1 - input_index]
+        key = t.values[self._keys[input_index]]
+        if t.is_negative:
+            own.delete(t)
+            positive = t.negate()
+            # Retractions must reach every result the dead tuple formed:
+            # probe *stored* partners unfiltered, because a partner expiring
+            # at this very instant still anchors an unretracted result.
+            matches = other.probe_all(key)
+        else:
+            own.insert(t)
+            positive = t
+            matches = other.probe(key, now)
+        out: list[Tuple] = []
+        for match in matches:
+            if input_index == 0:
+                result = join_tuples(positive, match, now)
+            else:
+                result = join_tuples(match, positive, now)
+            if t.is_negative:
+                result = result.negate()
+            out.append(result)
+        self.counters.results_produced += len(
+            [r for r in out if not r.is_negative]
+        )
+        return out
+
+    def purge(self, now: float) -> None:
+        self._advance(now)
+        self._buffers[0].purge_expired(now)
+        self._buffers[1].purge_expired(now)
+
+    def state_size(self) -> int:
+        return len(self._buffers[0]) + len(self._buffers[1])
+
+    @property
+    def buffers(self) -> tuple[StateBuffer, StateBuffer]:
+        return self._buffers
+
+
+class IntersectOp(JoinOp):
+    """Window intersection: an equi-join on the full value tuple that emits
+    the left constituent's values (one result per matching pair, preserving
+    bag semantics)."""
+
+    def __init__(self, schema: Schema, left_buffer: StateBuffer,
+                 right_buffer: StateBuffer, counters: Counters | None = None):
+        # Buffers must be keyed on the full value tuple by the builder.
+        super().__init__(schema, 0, 0, left_buffer, right_buffer, counters)
+
+    def process(self, input_index: int, t: Tuple, now: float) -> list[Tuple]:
+        self._advance(now)
+        self._count(t)
+        own = self._buffers[input_index]
+        other = self._buffers[1 - input_index]
+        if t.is_negative:
+            own.delete(t)
+            matches = other.probe_all(t.values)
+        else:
+            own.insert(t)
+            matches = other.probe(t.values, now)
+        out: list[Tuple] = []
+        sign_flip = t.is_negative
+        for match in matches:
+            # Result carries the left-side values (they equal the right-side
+            # values by definition of intersection) and expires when either
+            # constituent does.
+            exp = min(t.exp, match.exp)
+            result = Tuple(t.values, now, exp)
+            out.append(result.negate() if sign_flip else result)
+        self.counters.results_produced += len(
+            [r for r in out if not r.is_negative]
+        )
+        return out

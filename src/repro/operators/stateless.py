@@ -1,0 +1,132 @@
+"""Stateless physical operators: selection, projection, merge-union, window.
+
+Section 2.1: "Projection, selection, and union are unary operators that
+process new tuples on-the-fly ... These operators are stateless and do not
+have to be modified to work over sliding windows."  They treat negative
+tuples exactly like positive ones — a negative passes the same predicate /
+projection its positive twin passed, so the derived negative reaches and
+deletes the matching downstream state.
+
+:class:`WindowOp` is the physical leaf.  It stamps each arrival with its
+expiration timestamp (``ts`` + window size, Section 2.2).  Under the
+negative tuple approach it additionally materializes the window in a FIFO
+buffer and emits a negative tuple for every expiration (Section 2.3.1);
+under the direct approach it stores nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..buffers.fifo import FifoBuffer
+from ..core.metrics import Counters
+from ..core.tuples import Schema, Tuple
+from ..streams.window import CountWindow, TimeWindow, WindowSpec
+from .base import PhysicalOperator
+
+
+class SelectOp(PhysicalOperator):
+    """Filter by a predicate over the value tuple."""
+
+    def __init__(self, schema: Schema, predicate: Callable[[tuple], bool],
+                 counters: Counters | None = None, label: str = "<pred>"):
+        super().__init__(schema, counters)
+        self._predicate = predicate
+        self.label = label
+
+    def process(self, input_index: int, t: Tuple, now: float) -> list[Tuple]:
+        self._advance(now)
+        self._count(t)
+        return [t] if self._predicate(t.values) else []
+
+
+class ProjectOp(PhysicalOperator):
+    """Keep only the attributes at the given positions (bag semantics)."""
+
+    def __init__(self, schema: Schema, indices: tuple[int, ...],
+                 counters: Counters | None = None):
+        super().__init__(schema, counters)
+        self._indices = indices
+
+    def process(self, input_index: int, t: Tuple, now: float) -> list[Tuple]:
+        self._advance(now)
+        self._count(t)
+        values = tuple(t.values[i] for i in self._indices)
+        return [t.with_values(values)]
+
+
+class UnionOp(PhysicalOperator):
+    """Non-blocking merge union: forward tuples from either input.
+
+    Output arrives in timestamp order because the engine processes events in
+    timestamp order (Section 2's in-order processing assumption).
+    """
+
+    def process(self, input_index: int, t: Tuple, now: float) -> list[Tuple]:
+        self._advance(now)
+        self._count(t)
+        return [t]
+
+
+class WindowOp(PhysicalOperator):
+    """Physical leaf for a base stream bounded by a sliding window.
+
+    ``materialize=True`` selects negative-tuple behaviour: the window is
+    stored and :meth:`expire` returns a negative tuple per expired input,
+    which the executor pushes through the plan (Figure 3).  With
+    ``materialize=False`` (direct approach) the window stores nothing and
+    downstream operators find expirations via ``exp`` timestamps (Figure 4).
+
+    Count-based windows (extension) expire in the per-stream sequence
+    domain; the engine passes sequence numbers as ``now`` for such leaves.
+    """
+
+    def __init__(self, schema: Schema, window: WindowSpec | None,
+                 materialize: bool = False,
+                 counters: Counters | None = None,
+                 name: str = "stream"):
+        super().__init__(schema, counters)
+        self.window = window
+        self.name = name
+        self._store: FifoBuffer | None = (
+            FifoBuffer(counters=counters) if (materialize and window) else None
+        )
+
+    @property
+    def is_time_based(self) -> bool:
+        return isinstance(self.window, TimeWindow)
+
+    @property
+    def is_count_based(self) -> bool:
+        return isinstance(self.window, CountWindow)
+
+    def stamp(self, values: tuple, ts: float, clock: float) -> Tuple:
+        """Build the stamped tuple for an arrival.
+
+        ``ts`` is the arrival timestamp; ``clock`` is the value of the time
+        domain used for expiry (equal to ``ts`` for time-based windows, the
+        per-stream sequence number for count-based ones).
+        """
+        if self.window is None:
+            return Tuple(values, ts)
+        return Tuple(values, ts, self.window.expiry_of(clock))
+
+    def process(self, input_index: int, t: Tuple, now: float) -> list[Tuple]:
+        self._advance(now)
+        self._count(t)
+        if self._store is not None and not t.is_negative:
+            self._store.insert(t)
+        return [t]
+
+    def expire(self, now: float) -> list[Tuple]:
+        self._advance(now)
+        if self._store is None:
+            return []
+        return [t.negate() for t in self._store.purge_expired(now)]
+
+    def state_size(self) -> int:
+        return len(self._store) if self._store is not None else 0
+
+    def __repr__(self) -> str:
+        mode = "NT" if self._store is not None else "direct"
+        return f"WindowOp({self.name}, {self.window}, {mode})"

@@ -1,0 +1,32 @@
+"""Streams, windows, relations and the engine event model."""
+
+from .relation import NRR, Relation
+from .reorder import ReorderBuffer
+from .stream import (
+    Arrival,
+    Event,
+    RelationUpdate,
+    StreamDef,
+    Tick,
+    arrivals,
+    merge_streams,
+    with_heartbeats,
+)
+from .window import CountWindow, TimeWindow, WindowSpec
+
+__all__ = [
+    "NRR",
+    "Relation",
+    "Arrival",
+    "Event",
+    "RelationUpdate",
+    "StreamDef",
+    "Tick",
+    "arrivals",
+    "merge_streams",
+    "with_heartbeats",
+    "ReorderBuffer",
+    "CountWindow",
+    "TimeWindow",
+    "WindowSpec",
+]

@@ -1,0 +1,172 @@
+"""Relations and non-retroactive relations (NRRs) — Section 4.1.
+
+A traditional **relation** is an unordered multiset of tuples supporting
+arbitrary insertions, deletions and updates whose effects are *retroactive*:
+per Definition 1, a deletion must undo previously reported results that
+contain the deleted tuple (requiring negative tuples on the output), and an
+insertion must be joined against previously arrived stream tuples.  A join
+with a relation is therefore strict non-monotonic.
+
+A **non-retroactive relation (NRR)** also allows arbitrary updates, but an
+update at time τ only affects stream tuples arriving after τ.  The paper's
+motivating example is metadata such as a stock-symbol ↔ company-name table:
+delisting a company should not retract previously reported quotes.  A join
+of a window with an NRR is weakest non-monotonic (monotonic if the input is
+an infinite stream).
+
+Both classes store a multiset of rows plus per-attribute probe indexes.  The
+NRR additionally keeps a version log so that tests can verify Definition 2:
+each result tuple t must reflect the NRR state at time ``t.ts``
+(:meth:`NRR.snapshot_at`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Any, Hashable, Iterable, Sequence
+
+from ..core.tuples import Schema
+from ..errors import WorkloadError
+
+
+class Relation:
+    """A multiset of rows with retroactive update semantics."""
+
+    def __init__(self, name: str, schema: Schema,
+                 rows: Iterable[Sequence[Any]] = ()):
+        self.name = name
+        self.schema = schema
+        self._rows: Counter = Counter()
+        self._indexes: dict[int, defaultdict] = {}
+        for row in rows:
+            self.insert(row)
+
+    # -- updates -------------------------------------------------------------
+
+    def insert(self, values: Sequence[Any]) -> tuple:
+        values = self._check(values)
+        self._rows[values] += 1
+        for attr, index in self._indexes.items():
+            index[values[attr]][values] += 1
+        return values
+
+    def delete(self, values: Sequence[Any]) -> tuple:
+        values = self._check(values)
+        if self._rows[values] == 0:
+            raise WorkloadError(
+                f"cannot delete {values!r} from relation {self.name}: not present"
+            )
+        self._rows[values] -= 1
+        if self._rows[values] == 0:
+            del self._rows[values]
+        for attr, index in self._indexes.items():
+            bucket = index[values[attr]]
+            bucket[values] -= 1
+            if bucket[values] == 0:
+                del bucket[values]
+            if not bucket:
+                del index[values[attr]]
+        return values
+
+    def _check(self, values: Sequence[Any]) -> tuple:
+        values = tuple(values)
+        if len(values) != len(self.schema):
+            raise WorkloadError(
+                f"row arity {len(values)} does not match schema "
+                f"{self.schema.fields} of relation {self.name}"
+            )
+        return values
+
+    # -- lookups -------------------------------------------------------------
+
+    def ensure_index(self, attr: int) -> None:
+        """Build (idempotently) a probe index on attribute position ``attr``."""
+        if attr in self._indexes:
+            return
+        index: defaultdict = defaultdict(Counter)
+        for values, count in self._rows.items():
+            index[values[attr]][values] += count
+        self._indexes[attr] = index
+
+    def match(self, attr: int, key: Hashable) -> list[tuple]:
+        """Rows (with multiplicity) whose attribute ``attr`` equals ``key``."""
+        self.ensure_index(attr)
+        bucket = self._indexes[attr].get(key)
+        if not bucket:
+            return []
+        out: list[tuple] = []
+        for values, count in bucket.items():
+            out.extend([values] * count)
+        return out
+
+    def rows(self) -> list[tuple]:
+        """All rows with multiplicity."""
+        out: list[tuple] = []
+        for values, count in self._rows.items():
+            out.extend([values] * count)
+        return out
+
+    def multiset(self) -> Counter:
+        """Copy of the row multiset."""
+        return Counter(self._rows)
+
+    def __len__(self) -> int:
+        return sum(self._rows.values())
+
+    def __contains__(self, values: object) -> bool:
+        return isinstance(values, tuple) and self._rows[values] > 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, rows={len(self)})"
+
+
+class NRR(Relation):
+    """A relation whose updates are non-retroactive, with a version log.
+
+    The log records ``(ts, op, values)`` triples in timestamp order;
+    :meth:`snapshot_at` replays it to reconstruct the state visible to a
+    stream tuple generated at a given time.  Per Section 4.1, an update at
+    time τ "should only affect stream tuples that arrive after time τ" —
+    the engine therefore applies an NRR update *before* processing any
+    arrival with an equal or later timestamp, and :meth:`snapshot_at`
+    includes updates with ``ts <= τ``.
+    """
+
+    def __init__(self, name: str, schema: Schema,
+                 rows: Iterable[Sequence[Any]] = ()):
+        self._log: list[tuple[float, str, tuple]] = []
+        super().__init__(name, schema, rows)
+        # Initial rows are visible from the beginning of time.
+        self._log = [(float("-inf"), "insert", v) for v, c in self.multiset().items()
+                     for _ in range(c)]
+
+    def insert_at(self, ts: float, values: Sequence[Any]) -> tuple:
+        """Insert a row effective from time ``ts`` (logged for snapshots)."""
+        values = self.insert(values)
+        self._log.append((ts, "insert", values))
+        return values
+
+    def delete_at(self, ts: float, values: Sequence[Any]) -> tuple:
+        """Delete a row effective from time ``ts`` (logged for snapshots)."""
+        values = self.delete(values)
+        self._log.append((ts, "delete", values))
+        return values
+
+    def snapshot_at(self, ts: float) -> Counter:
+        """The row multiset visible to a result generated at time ``ts``."""
+        state: Counter = Counter()
+        for event_ts, op, values in self._log:
+            if event_ts > ts:
+                break
+            if op == "insert":
+                state[values] += 1
+            else:
+                state[values] -= 1
+                if state[values] == 0:
+                    del state[values]
+        return state
+
+    @property
+    def version_count(self) -> int:
+        """Number of logged updates (including initial rows)."""
+        return len(self._log)

@@ -1,0 +1,111 @@
+"""Bounded reordering of out-of-order event streams (extension).
+
+The paper assumes tuples carry non-decreasing timestamps, explicitly setting
+aside communication delays and out-of-order arrival as addressed by other
+work (Section 2).  Real feeds are rarely that polite, so this module
+provides the standard substrate that upholds the assumption: a bounded
+*reorder buffer* with a slack parameter.
+
+Events are held in a min-heap keyed by timestamp; an event is released once
+the *watermark* — the largest timestamp seen minus ``slack`` — passes it, so
+any event arriving within ``slack`` time units of its peers is delivered in
+correct order.  Events arriving later than that are handled per the
+``late_policy``:
+
+* ``"raise"``  — fail loudly (the default; silent data loss is worse),
+* ``"drop"``   — discard and count,
+* ``"adjust"`` — re-stamp to the watermark, preserving the tuple at the cost
+  of timestamp fidelity (the event still enters every window that is open at
+  the watermark).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterable, Iterator
+
+from ..errors import ExecutionError, WorkloadError
+from .stream import Arrival, Event, RelationUpdate, Tick
+
+RAISE = "raise"
+DROP = "drop"
+ADJUST = "adjust"
+_POLICIES = (RAISE, DROP, ADJUST)
+
+
+class ReorderBuffer:
+    """Releases buffered events in timestamp order within bounded slack."""
+
+    def __init__(self, slack: float, late_policy: str = RAISE):
+        if slack < 0:
+            raise WorkloadError(f"slack must be non-negative, got {slack}")
+        if late_policy not in _POLICIES:
+            raise WorkloadError(
+                f"unknown late policy {late_policy!r}; "
+                f"choose from {_POLICIES}"
+            )
+        self.slack = slack
+        self.late_policy = late_policy
+        self.dropped = 0
+        self.adjusted = 0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self._watermark = float("-inf")
+        self._released = float("-inf")
+
+    # -- streaming interface ---------------------------------------------------
+
+    def push(self, event: Event) -> list[Event]:
+        """Accept one (possibly out-of-order) event; return any events whose
+        release the new watermark enables, in timestamp order."""
+        event = self._admit(event)
+        if event is not None:
+            heapq.heappush(self._heap, (event.ts, next(self._seq), event))
+            if event.ts > self._watermark + self.slack:
+                self._watermark = event.ts - self.slack
+        return self._release(self._watermark)
+
+    def flush(self) -> list[Event]:
+        """Release everything still buffered (end of stream)."""
+        return self._release(float("inf"))
+
+    def reorder(self, events: Iterable[Event]) -> Iterator[Event]:
+        """Wrap an event iterable, yielding it in timestamp order."""
+        for event in events:
+            yield from self.push(event)
+        yield from self.flush()
+
+    # -- internals ------------------------------------------------------------------
+
+    def _admit(self, event: Event) -> Event | None:
+        if event.ts >= self._released:
+            return event
+        if self.late_policy == RAISE:
+            raise ExecutionError(
+                f"event at ts={event.ts} arrived after the reorder buffer "
+                f"already released ts={self._released} (slack={self.slack}); "
+                "increase the slack or choose a drop/adjust policy"
+            )
+        if self.late_policy == DROP:
+            self.dropped += 1
+            return None
+        self.adjusted += 1
+        if isinstance(event, Arrival):
+            return Arrival(self._released, event.stream, event.values)
+        if isinstance(event, RelationUpdate):
+            return RelationUpdate(self._released, event.relation, event.op,
+                                  event.values)
+        return Tick(self._released)
+
+    def _release(self, up_to: float) -> list[Event]:
+        out: list[Event] = []
+        while self._heap and self._heap[0][0] <= up_to:
+            _ts, _seq, event = heapq.heappop(self._heap)
+            out.append(event)
+        if out:
+            self._released = max(self._released, out[-1].ts)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._heap)

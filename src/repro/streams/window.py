@@ -1,0 +1,63 @@
+"""Sliding-window specifications.
+
+A time-based window of size T retains the tuples that arrived during the
+last T time units; a count-based window of size N retains the N most recent
+tuples (Section 1).  The paper's techniques are developed for time-based
+windows; count-based windows are listed as future work (Section 7) and are
+supported here as an extension by mapping them onto "sequence time": the
+i-th tuple of a stream expires exactly when tuple i+N arrives, so expiration
+is predictable in the per-stream arrival-sequence domain and the same
+update-pattern machinery applies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import WorkloadError
+
+
+@dataclasses.dataclass(frozen=True)
+class TimeWindow:
+    """Keep tuples whose age is less than ``size`` time units."""
+
+    size: float
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise WorkloadError(f"window size must be positive, got {self.size}")
+
+    def expiry_of(self, ts: float) -> float:
+        """Expiration timestamp of a tuple arriving at ``ts`` (Section 2.2)."""
+        return ts + self.size
+
+    @property
+    def span(self) -> float:
+        """Maximum lifetime of a tuple — sizes partitioned buffers."""
+        return self.size
+
+
+@dataclasses.dataclass(frozen=True)
+class CountWindow:
+    """Keep the ``size`` most recent tuples of the stream (extension).
+
+    Expiry is computed in the per-stream sequence domain: the engine assigns
+    each arrival a sequence number and uses it as the clock for this window.
+    """
+
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise WorkloadError(f"window size must be positive, got {self.size}")
+
+    def expiry_of(self, seqno: int) -> int:
+        """Sequence number at which the ``seqno``-th tuple falls out."""
+        return seqno + self.size
+
+    @property
+    def span(self) -> int:
+        return self.size
+
+
+WindowSpec = TimeWindow | CountWindow

@@ -1,0 +1,94 @@
+"""Public testing utilities for downstream users of the library.
+
+Anyone extending the engine (new operators, new buffers, new strategies)
+needs the same correctness oracle this repository's own test suite is built
+on: Definition 1 says the materialized answer must always equal a one-time
+relational evaluation over the current window contents.  These helpers
+package that check:
+
+    from repro.testing import assert_equivalent, check_plan
+
+    assert_equivalent(plan, events, modes=[Mode.NT, Mode.UPA])
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .core.plan import LogicalNode
+from .core.semantics import ReferenceEvaluator
+from .engine.query import ContinuousQuery
+from .engine.strategies import ExecutionConfig, Mode
+from .streams.stream import Event
+
+
+class EquivalenceError(AssertionError):
+    """The engine's materialized answer diverged from the oracle."""
+
+
+def check_plan(plan: LogicalNode, events: Iterable[Event], mode: Mode,
+               **config_kwargs) -> int:
+    """Run ``plan`` under ``mode`` and compare against the oracle after
+    every event.  Returns the number of comparisons performed; raises
+    :class:`EquivalenceError` with full context on the first divergence.
+    """
+    query = ContinuousQuery(plan, ExecutionConfig(mode=mode,
+                                                  **config_kwargs))
+    oracle = ReferenceEvaluator()
+    comparisons = 0
+    for event in events:
+        query.executor.process_event(event)
+        oracle.observe(event)
+        got = query.answer()
+        want = oracle.evaluate(plan, query.executor.now)
+        comparisons += 1
+        if got != want:
+            raise EquivalenceError(
+                f"Definition 1 violated under mode={mode.value} "
+                f"(config {config_kwargs}) after {event!r}:\n"
+                f"  engine: {dict(got)}\n"
+                f"  oracle: {dict(want)}\n"
+                f"  plan:   {plan!r}"
+            )
+    return comparisons
+
+
+def assert_equivalent(plan: LogicalNode, events: Sequence[Event],
+                      modes: Sequence[Mode] = (Mode.NT, Mode.DIRECT,
+                                               Mode.UPA),
+                      **config_kwargs) -> None:
+    """Check Definition 1 under every given mode over the same events.
+
+    Modes that reject the plan (e.g. DIRECT for strict non-monotonic
+    queries) are skipped silently, mirroring the planner's own rules.
+    """
+    from .errors import PlanError
+
+    for mode in modes:
+        try:
+            check_plan(plan, list(events), mode, **config_kwargs)
+        except PlanError:
+            continue
+
+
+def answers_agree(plan_factory, events: Sequence[Event],
+                  modes: Sequence[Mode] = (Mode.NT, Mode.DIRECT, Mode.UPA),
+                  **config_kwargs) -> bool:
+    """Do all (applicable) strategies produce identical final answers?
+
+    ``plan_factory`` is called once per mode, because compiled plans own
+    their physical state.
+    """
+    from .errors import PlanError
+
+    answers = []
+    for mode in modes:
+        try:
+            query = ContinuousQuery(plan_factory(),
+                                    ExecutionConfig(mode=mode,
+                                                    **config_kwargs))
+        except PlanError:
+            continue
+        query.run(list(events))
+        answers.append(query.answer())
+    return all(a == answers[0] for a in answers[1:]) if answers else True

@@ -1,0 +1,32 @@
+"""Workload substrate: the synthetic traffic trace and the paper's queries."""
+
+from .queries import (
+    query1,
+    query2,
+    query3,
+    query4,
+    query5_pullup,
+    query5_pushdown,
+)
+from .trace_io import read_trace, write_trace
+from .traffic import (
+    DEFAULT_PROTOCOL_MIX,
+    TRAFFIC_SCHEMA,
+    TrafficConfig,
+    TrafficTraceGenerator,
+)
+
+__all__ = [
+    "query1",
+    "query2",
+    "query3",
+    "query4",
+    "query5_pullup",
+    "query5_pushdown",
+    "read_trace",
+    "write_trace",
+    "DEFAULT_PROTOCOL_MIX",
+    "TRAFFIC_SCHEMA",
+    "TrafficConfig",
+    "TrafficTraceGenerator",
+]

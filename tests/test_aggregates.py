@@ -1,0 +1,103 @@
+"""Unit tests for the incremental aggregates."""
+
+import pytest
+
+from repro import PlanError
+from repro.operators.aggregates import (
+    AvgAggregate,
+    CountAggregate,
+    MaxAggregate,
+    MinAggregate,
+    SumAggregate,
+    make_aggregate,
+)
+
+
+class TestCount:
+    def test_insert_remove(self):
+        agg = CountAggregate()
+        assert agg.current() == 0
+        agg.insert(None)
+        agg.insert(None)
+        assert agg.current() == 2
+        agg.remove(None)
+        assert agg.current() == 1
+
+
+class TestSum:
+    def test_insert_remove(self):
+        agg = SumAggregate()
+        agg.insert(3)
+        agg.insert(4)
+        assert agg.current() == 7
+        agg.remove(3)
+        assert agg.current() == 4
+
+    def test_handles_negative_values(self):
+        agg = SumAggregate()
+        agg.insert(-5)
+        agg.insert(2)
+        assert agg.current() == -3
+
+
+class TestAvg:
+    def test_running_average(self):
+        agg = AvgAggregate()
+        agg.insert(2)
+        agg.insert(4)
+        assert agg.current() == 3
+        agg.remove(2)
+        assert agg.current() == 4
+
+    def test_empty_is_none(self):
+        agg = AvgAggregate()
+        assert agg.current() is None
+        agg.insert(1)
+        agg.remove(1)
+        assert agg.current() is None
+
+
+class TestMinMax:
+    def test_min_tracks_runner_up_after_removal(self):
+        agg = MinAggregate()
+        for v in (5, 3, 8):
+            agg.insert(v)
+        assert agg.current() == 3
+        agg.remove(3)  # removing the extremum exposes the runner-up
+        assert agg.current() == 5
+
+    def test_max_with_duplicates(self):
+        agg = MaxAggregate()
+        agg.insert(7)
+        agg.insert(7)
+        agg.insert(2)
+        agg.remove(7)  # one copy remains
+        assert agg.current() == 7
+        agg.remove(7)
+        assert agg.current() == 2
+
+    def test_empty_extremum_is_none(self):
+        assert MinAggregate().current() is None
+        assert MaxAggregate().current() is None
+
+    def test_removing_absent_value_raises(self):
+        agg = MinAggregate()
+        agg.insert(1)
+        with pytest.raises(PlanError, match="absent"):
+            agg.remove(2)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind,cls", [
+        ("count", CountAggregate),
+        ("sum", SumAggregate),
+        ("avg", AvgAggregate),
+        ("min", MinAggregate),
+        ("max", MaxAggregate),
+    ])
+    def test_known_kinds(self, kind, cls):
+        assert isinstance(make_aggregate(kind), cls)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(PlanError, match="unknown aggregate"):
+            make_aggregate("median")

@@ -1,0 +1,145 @@
+"""Tests for plan annotation — the five propagation rules over real plans."""
+
+import pytest
+
+from repro import (
+    AggregateSpec,
+    DupElim,
+    GroupBy,
+    Join,
+    MONOTONIC,
+    Negation,
+    NRR,
+    NRRJoin,
+    PlanError,
+    Project,
+    Relation,
+    RelationJoin,
+    STR,
+    Schema,
+    Select,
+    StreamDef,
+    TimeWindow,
+    Union,
+    WK,
+    WKS,
+    WindowScan,
+    annotate,
+    attr_equals,
+    explain,
+)
+
+AB = Schema(["a", "b"])
+
+
+def scan(name="s", window=TimeWindow(10)):
+    return WindowScan(StreamDef(name, AB, window))
+
+
+def infinite(name="inf"):
+    return WindowScan(StreamDef(name, AB, None))
+
+
+class TestLeafPatterns:
+    def test_window_is_wks(self):
+        a = annotate(scan())
+        assert a.output_pattern is WKS
+
+    def test_infinite_stream_is_monotonic(self):
+        a = annotate(infinite())
+        assert a.output_pattern is MONOTONIC
+
+
+class TestRulePropagation:
+    def test_rule1_select_project_passthrough(self):
+        plan = Project(Select(scan(), attr_equals("a", 1)), ["a"])
+        a = annotate(plan)
+        assert a.output_pattern is WKS
+
+    def test_rule1_select_over_infinite_stays_monotonic(self):
+        a = annotate(Select(infinite(), attr_equals("a", 1)))
+        assert a.output_pattern is MONOTONIC
+
+    def test_rule2_union_takes_more_complex(self):
+        # A WK side: join of disjoint schemas, projected back to (a, b).
+        other = WindowScan(StreamDef("x", Schema(["c", "d"]), TimeWindow(10)))
+        wk_side = Project(Join(scan("s1"), other, "a", "c"), ["a", "b"])
+        wks_side = scan("s2")
+        assert annotate(Union(wks_side, wk_side)).output_pattern is WK
+        assert annotate(Union(wks_side, scan("s3"))).output_pattern is WKS
+
+    def test_rule3_join_of_windows_is_wk(self):
+        a = annotate(Join(scan("s1"), scan("s2"), "a", "a"))
+        assert a.output_pattern is WK
+
+    def test_rule3_dupelim_is_wk(self):
+        assert annotate(DupElim(scan())).output_pattern is WK
+
+    def test_rule3_str_input_dominates(self):
+        neg = Negation(scan("s1"), scan("s2"), "a")
+        join = Join(neg, scan("s3"), "a", "a")
+        a = annotate(join)
+        assert a.pattern_of(neg) is STR
+        assert a.output_pattern is STR
+
+    def test_rule4_groupby_always_wk_even_over_str(self):
+        neg = Negation(scan("s1"), scan("s2"), "a")
+        gb = GroupBy(neg, ["a"], [AggregateSpec("count", None, "n")])
+        a = annotate(gb)
+        assert a.pattern_of(neg) is STR
+        assert a.output_pattern is WK
+
+    def test_rule5_negation_always_str(self):
+        a = annotate(Negation(scan("s1"), scan("s2"), "a"))
+        assert a.output_pattern is STR
+
+    def test_rule5_relation_join_always_str(self):
+        rel = Relation("r", Schema(["k", "v"]))
+        a = annotate(RelationJoin(scan(), rel, "a", "k"))
+        assert a.output_pattern is STR
+
+    def test_nrr_join_passthrough(self):
+        nrr = NRR("n", Schema(["k", "v"]))
+        assert annotate(NRRJoin(scan(), nrr, "a", "k")).output_pattern is WKS
+        assert annotate(
+            NRRJoin(infinite(), nrr, "a", "k")).output_pattern is MONOTONIC
+
+
+class TestConstraints:
+    def test_nrr_join_over_str_input_rejected(self):
+        nrr = NRR("n", Schema(["k", "v"]))
+        neg = Negation(scan("s1"), scan("s2"), "a")
+        with pytest.raises(PlanError, match="NRR-join"):
+            annotate(NRRJoin(neg, nrr, "a", "k"))
+
+    def test_relation_join_over_str_input_rejected(self):
+        rel = Relation("r", Schema(["k", "v"]))
+        neg = Negation(scan("s1"), scan("s2"), "a")
+        with pytest.raises(PlanError, match="R-join"):
+            annotate(RelationJoin(neg, rel, "a", "k"))
+
+
+class TestAnnotatedPlan:
+    def test_contains_strict(self):
+        assert not annotate(Join(scan("s1"), scan("s2"), "a", "a")
+                            ).contains_strict()
+        assert annotate(Negation(scan("s1"), scan("s2"), "a")
+                        ).contains_strict()
+
+    def test_every_node_annotated(self):
+        plan = Join(Select(scan("s1"), attr_equals("a", 1)), scan("s2"),
+                    "a", "a")
+        a = annotate(plan)
+        for node in plan.walk():
+            assert a.pattern_of(node) is not None
+
+    def test_explain_contains_patterns_and_operators(self):
+        plan = Join(Select(scan("s1"), attr_equals("a", 1)), scan("s2"),
+                    "a", "a")
+        text = explain(plan)
+        assert "WKS" in text and "WK" in text
+        assert "Select" in text and "Join" in text
+        # Indentation reflects depth.
+        lines = text.splitlines()
+        assert lines[0].startswith("Join")
+        assert lines[1].startswith("  ")

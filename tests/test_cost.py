@@ -1,0 +1,117 @@
+"""Tests for the cost model (Section 5.4.1)."""
+
+import pytest
+
+from repro import (
+    DupElim,
+    GroupBy,
+    AggregateSpec,
+    Join,
+    Negation,
+    Schema,
+    Select,
+    StreamDef,
+    TimeWindow,
+    WindowScan,
+    attr_equals,
+)
+from repro.core.cost import Catalog, CostModel, EdgeStats
+
+V = Schema(["v"])
+
+
+def scan(name="s", window=10, rate=1.0):
+    return WindowScan(StreamDef(name, V, TimeWindow(window), rate=rate))
+
+
+def model(**kwargs):
+    return CostModel(Catalog(**kwargs))
+
+
+class TestEdgeStats:
+    def test_window_scan_size_is_rate_times_window(self):
+        root = scan(window=50, rate=2.0)
+        cost = model().estimate(root)
+        assert cost.stats_of(root).size == 100.0
+        assert cost.stats_of(root).rate == 2.0
+
+    def test_selection_scales_by_selectivity(self):
+        root = Select(scan(window=10, rate=1.0), attr_equals("v", 1, 0.2))
+        cost = model().estimate(root)
+        stats = cost.stats_of(root)
+        assert stats.rate == pytest.approx(0.2)
+        assert stats.size == pytest.approx(2.0)
+
+    def test_join_output_grows_with_window(self):
+        small = Join(scan("a", 10), scan("b", 10), "v", "v")
+        large = Join(scan("a", 100), scan("b", 100), "v", "v")
+        m = model(default_distinct=10)
+        assert m.estimate(large).stats_of(large).size > \
+            m.estimate(small).stats_of(small).size
+
+    def test_distinct_counts_capped_by_size(self):
+        root = scan(window=5, rate=1.0)  # only 5 live tuples
+        cost = model(default_distinct=1000).estimate(root)
+        assert cost.stats_of(root).distinct["v"] == 5.0
+
+    def test_groupby_size_is_group_count(self):
+        root = GroupBy(scan(window=100), ["v"],
+                       [AggregateSpec("count", None, "n")])
+        cost = model(distinct_counts={("s", "v"): 7}).estimate(root)
+        assert cost.stats_of(root).size == 7
+
+
+class TestCostFormulas:
+    def test_stateless_cost_is_input_rate(self):
+        root = Select(scan(rate=3.0), attr_equals("v", 1))
+        cost = model().estimate(root)
+        assert cost.cost_of(root) == pytest.approx(3.0)
+
+    def test_join_cost_formula(self):
+        # λ1·N1 + λ2·N2 with λ=1, N=window
+        root = Join(scan("a", 10), scan("b", 20), "v", "v")
+        cost = model().estimate(root)
+        assert cost.cost_of(root) == pytest.approx(1 * 10 + 1 * 20)
+
+    def test_groupby_cost_is_twice_rate_times_c(self):
+        root = GroupBy(scan(rate=2.0), ["v"],
+                       [AggregateSpec("count", None, "n")])
+        cost = model(aggregate_cost=3.0).estimate(root)
+        assert cost.cost_of(root) == pytest.approx(2 * 2.0 * 3.0)
+
+    def test_str_input_doubles_cost(self):
+        neg = Negation(scan("a"), scan("b"), "v")
+        sel_over_str = Select(neg, attr_equals("v", 1))
+        sel_over_wks = Select(scan("c", rate=1.0), attr_equals("v", 1))
+        m = model()
+        cost = m.estimate(sel_over_str)
+        plain = m.estimate(sel_over_wks)
+        assert cost.cost_of(sel_over_str) == pytest.approx(
+            2 * plain.cost_of(sel_over_wks))
+
+    def test_total_is_sum_of_nodes(self):
+        root = Join(Select(scan("a"), attr_equals("v", 1)), scan("b"),
+                    "v", "v")
+        cost = model().estimate(root)
+        assert cost.total == pytest.approx(sum(cost.per_node.values()))
+
+    def test_dupelim_cost_uses_output_size(self):
+        small_d = DupElim(scan(window=100))
+        m_small = model(distinct_counts={("s", "v"): 5})
+        m_large = model(distinct_counts={("s", "v"): 80})
+        assert m_small.estimate(small_d).cost_of(small_d) < \
+            m_large.estimate(DupElim(scan(window=100))).total
+
+    def test_negation_premature_term_scales(self):
+        neg = Negation(scan("a"), scan("b"), "v")
+        low = CostModel(Catalog(premature_frequency=0.0)).estimate(neg)
+        high = CostModel(Catalog(premature_frequency=1.0)).estimate(neg)
+        assert high.cost_of(neg) > low.cost_of(neg)
+
+
+class TestCatalog:
+    def test_distinct_lookup_with_default(self):
+        cat = Catalog(distinct_counts={("s", "v"): 42}, default_distinct=7)
+        assert cat.distinct("s", "v") == 42
+        assert cat.distinct("s", "other") == 7
+        assert cat.distinct("other", "v") == 7

@@ -1,0 +1,85 @@
+"""Tests for count-based windows (the Section 7 extension)."""
+
+from collections import Counter
+
+import pytest
+
+from repro import (
+    Arrival,
+    ContinuousQuery,
+    CountWindow,
+    ExecutionConfig,
+    Mode,
+    PlanError,
+    ReferenceEvaluator,
+    Schema,
+    StreamDef,
+    TimeWindow,
+    count,
+    from_window,
+)
+
+V = Schema(["v"])
+
+
+def cstream(name="s", size=3):
+    return StreamDef(name, V, CountWindow(size))
+
+
+class TestCountWindowSemantics:
+    @pytest.mark.parametrize("mode", [Mode.NT, Mode.DIRECT, Mode.UPA])
+    def test_keeps_n_most_recent(self, mode):
+        plan = from_window(cstream(size=3)).build()
+        query = ContinuousQuery(plan, ExecutionConfig(mode=mode))
+        for i in range(5):
+            query.executor.process_event(Arrival(i + 1, "s", (i,)))
+        assert query.answer() == Counter({(2,): 1, (3,): 1, (4,): 1})
+
+    @pytest.mark.parametrize("mode", [Mode.NT, Mode.DIRECT, Mode.UPA])
+    def test_distinct_over_count_window(self, mode):
+        plan = from_window(cstream(size=2)).distinct().build()
+        query = ContinuousQuery(plan, ExecutionConfig(mode=mode))
+        for i, v in enumerate(["a", "a", "b"]):
+            query.executor.process_event(Arrival(i + 1, "s", (v,)))
+        assert query.answer() == Counter({("a",): 1, ("b",): 1})
+        query.executor.process_event(Arrival(4, "s", ("b",)))
+        assert query.answer() == Counter({("b",): 1})
+
+    @pytest.mark.parametrize("mode", [Mode.NT, Mode.DIRECT, Mode.UPA])
+    def test_matches_oracle_over_random_stream(self, mode):
+        import random
+        rng = random.Random(0)
+        plan = from_window(cstream(size=5)).group_by(["v"], [count()]).build()
+        query = ContinuousQuery(plan, ExecutionConfig(mode=mode))
+        oracle = ReferenceEvaluator()
+        for i in range(120):
+            event = Arrival(i + 1, "s", (rng.randrange(4),))
+            query.executor.process_event(event)
+            oracle.observe(event)
+            got = query.answer()
+            want = oracle.evaluate(plan, i + 1)
+            assert got == want, f"mismatch at event {i}: {got} vs {want}"
+
+    def test_self_join_over_count_window(self):
+        plan = (from_window(cstream(size=2))
+                .join(from_window(cstream(size=2)), on="v").build())
+        query = ContinuousQuery(plan, ExecutionConfig(mode=Mode.UPA))
+        for i, v in enumerate(["x", "x", "x"]):
+            query.executor.process_event(Arrival(i + 1, "s", (v,)))
+        # Window holds the last 2 x's: 2×2 self-join pairs.
+        assert sum(query.answer().values()) == 4
+
+
+class TestCountWindowRestrictions:
+    def test_mixed_domains_rejected(self):
+        time_stream = StreamDef("t", V, TimeWindow(5))
+        plan = (from_window(cstream("c"))
+                .join(from_window(time_stream), on="v").build())
+        with pytest.raises(PlanError, match="mixing"):
+            ContinuousQuery(plan)
+
+    def test_multi_stream_count_windows_rejected(self):
+        plan = (from_window(cstream("a"))
+                .join(from_window(cstream("b")), on="v").build())
+        with pytest.raises(PlanError, match="single-stream"):
+            ContinuousQuery(plan)

@@ -1,0 +1,35 @@
+"""Tests for DOT rendering of annotated plans."""
+
+from repro import Schema, StreamDef, TimeWindow, WindowScan, explain_dot
+from repro.core.plan import Join, Negation
+
+V = Schema(["v"])
+
+
+def scan(name):
+    return WindowScan(StreamDef(name, V, TimeWindow(10)))
+
+
+class TestExplainDot:
+    def test_valid_dot_structure(self):
+        plan = Join(scan("a"), scan("b"), "v", "v")
+        dot = explain_dot(plan)
+        assert dot.startswith("digraph plan {")
+        assert dot.rstrip().endswith("}")
+        # Every node appears, plus the result sink.
+        assert dot.count("[label=") >= 4
+
+    def test_edges_labelled_with_patterns(self):
+        plan = Join(scan("a"), scan("b"), "v", "v")
+        dot = explain_dot(plan)
+        assert 'label="WKS"' in dot
+        assert 'label="WK"' in dot  # output edge to the result
+
+    def test_str_edges_coloured_red(self):
+        plan = Negation(scan("a"), scan("b"), "v")
+        dot = explain_dot(plan)
+        assert "color=red3" in dot
+
+    def test_result_sink_present(self):
+        dot = explain_dot(scan("a"))
+        assert "materialized result" in dot

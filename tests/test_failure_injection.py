@@ -1,0 +1,81 @@
+"""Failure-path tests: the library must fail loudly and precisely."""
+
+import pytest
+
+from repro import (
+    Arrival,
+    ContinuousQuery,
+    ExecutionError,
+    Mode,
+    ExecutionConfig,
+    PlanError,
+    RelationUpdate,
+    ReproError,
+    Schema,
+    SchemaError,
+    StreamDef,
+    TimeWindow,
+    WorkloadError,
+    from_window,
+)
+
+V = Schema(["v"])
+
+
+def stream(name="s0"):
+    return StreamDef(name, V, TimeWindow(10))
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [SchemaError, PlanError, ExecutionError,
+                                     WorkloadError])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_catching_base_class_works(self):
+        with pytest.raises(ReproError):
+            Schema([])
+
+
+class TestEngineFailures:
+    def test_out_of_order_identifies_timestamps(self):
+        query = ContinuousQuery(from_window(stream()).build())
+        query.executor.process_event(Arrival(10, "s0", (1,)))
+        with pytest.raises(ExecutionError) as err:
+            query.executor.process_event(Arrival(4, "s0", (2,)))
+        assert "4" in str(err.value) and "10" in str(err.value)
+
+    def test_relation_delete_of_absent_row(self):
+        from repro import Relation
+        rel = Relation("r", Schema(["k", "m"]))
+        plan = (from_window(stream())
+                .join_relation(rel, on="v", rel_on="k").build())
+        query = ContinuousQuery(plan, ExecutionConfig(mode=Mode.UPA))
+        with pytest.raises(WorkloadError, match="not present"):
+            query.executor.process_event(
+                RelationUpdate(1, "r", "delete", ("x", "y")))
+
+    def test_failure_leaves_prior_state_intact(self):
+        """An error on one event must not corrupt results already built."""
+        query = ContinuousQuery(from_window(stream()).build())
+        query.executor.process_event(Arrival(10, "s0", (1,)))
+        with pytest.raises(ExecutionError):
+            query.executor.process_event(Arrival(4, "s0", (2,)))
+        assert sum(query.answer().values()) == 1
+        # The engine continues to accept in-order events afterwards.
+        query.executor.process_event(Arrival(11, "s0", (3,)))
+        assert sum(query.answer().values()) == 2
+
+
+class TestPlannerFailures:
+    def test_direct_with_negation_message_names_the_cure(self):
+        plan = (from_window(stream("a"))
+                .minus(from_window(stream("b")), on="v").build())
+        with pytest.raises(PlanError, match="negation-free"):
+            ContinuousQuery(plan, ExecutionConfig(mode=Mode.DIRECT))
+
+    def test_arity_mismatch_in_events_is_caught_by_relation(self):
+        from repro import Relation, WorkloadError
+        rel = Relation("r", Schema(["k", "m"]))
+        with pytest.raises(WorkloadError, match="arity"):
+            rel.insert(("only-one",))

@@ -1,0 +1,97 @@
+"""Feasibility enforcement: stateful operators over unbounded streams.
+
+Section 1: "Due to the potentially infinite nature of data streams, many
+queries cannot be computed in finite memory.  A general solution ... is to
+define sliding windows."  The planner rejects plans whose stateful
+operators would store a never-expiring input, unless explicitly permitted.
+"""
+
+import pytest
+
+from repro import (
+    AggregateSpec,
+    Arrival,
+    ContinuousQuery,
+    DupElim,
+    ExecutionConfig,
+    GroupBy,
+    Join,
+    Mode,
+    Negation,
+    NRR,
+    NRRJoin,
+    PlanError,
+    Schema,
+    Select,
+    StreamDef,
+    TimeWindow,
+    WindowScan,
+    attr_equals,
+)
+
+V = Schema(["v"])
+
+
+def unbounded(name="inf"):
+    return WindowScan(StreamDef(name, V, None))
+
+
+def windowed(name="w"):
+    return WindowScan(StreamDef(name, V, TimeWindow(10)))
+
+
+class TestRejection:
+    @pytest.mark.parametrize("make_plan", [
+        lambda: Join(unbounded("a"), windowed("b"), "v", "v"),
+        lambda: Join(windowed("a"), unbounded("b"), "v", "v"),
+        lambda: DupElim(unbounded()),
+        lambda: GroupBy(unbounded(), ["v"],
+                        [AggregateSpec("count", None, "n")]),
+        lambda: Negation(unbounded("a"), windowed("b"), "v"),
+        lambda: Negation(windowed("a"), unbounded("b"), "v"),
+    ], ids=["join-left", "join-right", "distinct", "groupby",
+            "negation-left", "negation-right"])
+    def test_stateful_over_unbounded_rejected(self, make_plan):
+        with pytest.raises(PlanError, match="without limit"):
+            ContinuousQuery(make_plan())
+
+    def test_error_message_suggests_the_fix(self):
+        with pytest.raises(PlanError, match="sliding window"):
+            ContinuousQuery(DupElim(unbounded()))
+
+
+class TestAllowed:
+    def test_stateless_over_unbounded_is_fine(self):
+        query = ContinuousQuery(Select(unbounded(), attr_equals("v", 1)))
+        query.run([Arrival(1, "inf", (1,))])
+        assert sum(query.answer().values()) == 1
+
+    def test_nrr_join_over_unbounded_is_fine(self):
+        """NRR joins store nothing — monotonic over streams by design."""
+        nrr = NRR("n", Schema(["k", "m"]), [(1, "x")])
+        plan = NRRJoin(unbounded(), nrr, "v", "k")
+        query = ContinuousQuery(plan, ExecutionConfig(mode=Mode.UPA))
+        query.run([Arrival(1, "inf", (1,))])
+        assert sum(query.answer().values()) == 1
+
+    def test_opt_out_for_bounded_experiments(self):
+        plan = DupElim(unbounded())
+        query = ContinuousQuery(
+            plan, ExecutionConfig(allow_unbounded_state=True))
+        query.run([Arrival(1, "inf", (1,)), Arrival(2, "inf", (1,))])
+        assert sum(query.answer().values()) == 1
+
+
+class TestExplainWithCost:
+    def test_renders_patterns_stats_and_costs(self):
+        from repro.core.cost import explain_with_cost
+        plan = Join(Select(windowed("a"), attr_equals("v", 1, 0.2)),
+                    windowed("b"), "v", "v")
+        text = explain_with_cost(plan)
+        assert "total per-unit-time cost" in text
+        assert "WKS" in text and "WK" in text
+        assert "rate=" in text and "size=" in text and "cost=" in text
+
+    def test_infinite_size_rendered(self):
+        from repro.core.cost import explain_with_cost
+        assert "size=inf" in explain_with_cost(unbounded())

@@ -1,0 +1,121 @@
+"""Golden regression tests: exact deterministic outcomes on a fixed trace.
+
+These pin down behaviour that ordinary assertions leave loose: exact answer
+multisets, exact negative-tuple counts, and state sizes for a small fixed
+workload under every strategy.  If a refactor changes any of these, the
+change is either a bug or a deliberate cost-model shift that must be
+reviewed (and the golden updated consciously).
+Touch *totals* are intentionally not pinned — they are an accounting policy,
+compared only relatively (orderings) in benchmarks/test_shapes.py.
+"""
+
+import pytest
+
+from repro import (
+    Arrival,
+    ContinuousQuery,
+    ExecutionConfig,
+    Mode,
+    Schema,
+    StreamDef,
+    Tick,
+    TimeWindow,
+    from_window,
+)
+
+V = Schema(["v"])
+
+#: Fixed interleaved trace over two streams, window 10.
+TRACE = [
+    Arrival(1, "a", (1,)),
+    Arrival(2, "b", (1,)),
+    Arrival(3, "a", (2,)),
+    Arrival(4, "a", (1,)),
+    Arrival(5, "b", (2,)),
+    Arrival(7, "b", (1,)),
+    Arrival(9, "a", (3,)),
+    Arrival(12, "b", (3,)),   # a's ts=1 tuple has expired by now
+    Arrival(14, "a", (1,)),
+    Tick(16),
+]
+
+
+def stream(name):
+    return StreamDef(name, V, TimeWindow(10))
+
+
+def run(plan_builder, mode, **cfg):
+    plan = plan_builder()
+    query = ContinuousQuery(plan, ExecutionConfig(mode=mode, **cfg))
+    result = query.run(list(TRACE))
+    return query, result
+
+
+class TestJoinGoldens:
+    def plan(self):
+        return from_window(stream("a")).join(from_window(stream("b")),
+                                             on="v").build()
+
+    @pytest.mark.parametrize("mode", [Mode.NT, Mode.DIRECT, Mode.UPA])
+    def test_final_answer(self, mode):
+        query, _ = run(self.plan, mode)
+        assert dict(query.answer()) == {
+            (1, 1): 1,   # a@14 with b@7
+            (3, 3): 1,   # a@9 with b@12
+        }
+
+    def test_nt_negative_count_exact(self):
+        """Every expired window tuple produces exactly one negative, and
+        each negative may cascade: the totals are fully determined."""
+        query, result = run(self.plan, Mode.NT)
+        # Tuples with ts ≤ 6 expired by the final tick (a:1,3,4  b:2,5):
+        # five window negatives, each processed once by the join.
+        assert result.counters.negatives_processed == 5
+
+    def test_state_sizes_after_run(self):
+        # NT retains the four live window tuples (a@9, a@14, b@7, b@12);
+        # direct-style windows store nothing.
+        for mode, expected_window_state in [(Mode.NT, 4), (Mode.UPA, 0)]:
+            query, _ = run(self.plan, mode)
+            leaves = [op for op in query.compiled.ops.values()
+                      if type(op).__name__ == "WindowOp"]
+            window_state = sum(op.state_size() for op in leaves)
+            assert window_state == expected_window_state, mode
+
+
+class TestDistinctGoldens:
+    def plan(self):
+        return from_window(stream("a")).distinct().build()
+
+    @pytest.mark.parametrize("mode", [Mode.NT, Mode.DIRECT, Mode.UPA])
+    def test_final_answer(self, mode):
+        query, _ = run(self.plan, mode)
+        assert dict(query.answer()) == {(3,): 1, (1,): 1}
+
+    def test_delta_state_exact(self):
+        query, _ = run(self.plan, Mode.UPA)
+        op = query.compiled.op_for(query.plan)
+        # Representatives: values 3 and 1; no pending auxiliaries.
+        assert op.state_size() == 2
+
+
+class TestNegationGoldens:
+    def plan(self):
+        return from_window(stream("a")).minus(from_window(stream("b")),
+                                              on="v").build()
+
+    @pytest.mark.parametrize("mode,storage", [
+        (Mode.NT, "auto"),
+        (Mode.UPA, "partitioned"),
+        (Mode.UPA, "negative"),
+    ])
+    def test_final_answer(self, mode, storage):
+        query, _ = run(self.plan, mode, str_storage=storage)
+        # At ts=16 live: a = {1@14, 3@9}, b = {1@7, 3@12}
+        # v=1: 1−1=0; v=3: 1−1=0  → empty answer.
+        assert dict(query.answer()) == {}
+
+    def test_results_produced_exact(self):
+        _query, result = run(self.plan, Mode.UPA)
+        # Positive emissions over the whole run (admissions), pinned:
+        assert result.counters.results_produced == 4

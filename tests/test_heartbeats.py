@@ -1,0 +1,69 @@
+"""Tests for heartbeat generation and the report-delay bound it provides."""
+
+import pytest
+
+from repro import (
+    Arrival,
+    ContinuousQuery,
+    ExecutionConfig,
+    Mode,
+    Schema,
+    StreamDef,
+    Tick,
+    TimeWindow,
+    WorkloadError,
+    count,
+    from_window,
+)
+from repro.streams.stream import with_heartbeats
+
+
+def arr(ts):
+    return Arrival(ts, "s", (1,))
+
+
+class TestWithHeartbeats:
+    def test_no_ticks_for_dense_feed(self):
+        events = list(with_heartbeats([arr(1), arr(2), arr(3)], max_delay=5))
+        assert all(isinstance(e, Arrival) for e in events)
+
+    def test_ticks_fill_gaps(self):
+        events = list(with_heartbeats([arr(0), arr(10)], max_delay=3))
+        kinds = [(type(e).__name__, e.ts) for e in events]
+        assert kinds == [("Arrival", 0), ("Tick", 3), ("Tick", 6),
+                         ("Tick", 9), ("Arrival", 10)]
+
+    def test_timestamps_non_decreasing(self):
+        events = list(with_heartbeats([arr(0), arr(7.5), arr(8)],
+                                      max_delay=2))
+        assert all(a.ts <= b.ts for a, b in zip(events, events[1:]))
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            list(with_heartbeats([arr(1)], max_delay=0))
+
+    def test_empty_feed(self):
+        assert list(with_heartbeats([], max_delay=1)) == []
+
+    def test_bounds_report_delay(self):
+        """The paper's motivating case (Section 2.3): an aggregate must
+        change on expiration even when nothing arrives.  Heartbeats bound
+        how long the stale value can linger."""
+        stream = StreamDef("s", Schema(["v"]), TimeWindow(5))
+        plan = from_window(stream).aggregate(count("n")).build()
+        query = ContinuousQuery(plan, ExecutionConfig(mode=Mode.UPA))
+        feed = with_heartbeats([arr(0), arr(100)], max_delay=1)
+        stale_spans = []
+        previous_len = None
+
+        def watch(executor, event):
+            nonlocal previous_len
+            current = len(query.answer())
+            if previous_len is not None and previous_len != current:
+                stale_spans.append(executor.now)
+            previous_len = current
+
+        query.run(feed, on_event=watch)
+        # The count must have dropped to zero at the first heartbeat past
+        # the expiry at ts=5 — i.e. by ts=6 at the latest — not at ts=100.
+        assert stale_spans and stale_spans[0] <= 6

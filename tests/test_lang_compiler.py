@@ -1,0 +1,245 @@
+"""Tests for AST → logical-plan compilation, including execution round-trips."""
+
+from collections import Counter
+
+import pytest
+
+from repro import (
+    Arrival,
+    ContinuousQuery,
+    CountWindow,
+    DupElim,
+    ExecutionConfig,
+    GroupBy,
+    Intersect,
+    Join,
+    Mode,
+    Negation,
+    NRR,
+    NRRJoin,
+    PlanError,
+    Project,
+    Relation,
+    RelationJoin,
+    Schema,
+    Select,
+    TimeWindow,
+    Union,
+    WindowScan,
+)
+from repro.lang.catalog import SourceCatalog
+from repro.lang.compiler import compile_query
+
+AB = Schema(["a", "b"])
+
+
+@pytest.fixture
+def catalog():
+    cat = SourceCatalog()
+    cat.add_stream("s0", AB)
+    cat.add_stream("s1", AB)
+    cat.add_stream("other", Schema(["c", "d"]))
+    cat.add_relation(NRR("meta", Schema(["k", "name"]), [("x", "ex")]))
+    cat.add_relation(Relation("acl", Schema(["k", "rule"]), [("x", "deny")]))
+    return cat
+
+
+class TestCatalog:
+    def test_duplicate_names_rejected(self, catalog):
+        with pytest.raises(PlanError, match="already registered"):
+            catalog.add_stream("s0", AB)
+        with pytest.raises(PlanError, match="already registered"):
+            catalog.add_relation(Relation("meta", AB))
+
+    def test_unknown_source_message_lists_registered(self, catalog):
+        with pytest.raises(PlanError, match="s0"):
+            compile_query("SELECT * FROM nope", catalog)
+
+    def test_is_nrr(self, catalog):
+        assert catalog.is_nrr("meta")
+        assert not catalog.is_nrr("acl")
+
+
+class TestPlanShapes:
+    def test_select_where_project_distinct(self, catalog):
+        plan = compile_query(
+            "SELECT DISTINCT a FROM s0 [RANGE 10] WHERE b = 1", catalog)
+        assert isinstance(plan, DupElim)
+        assert isinstance(plan.child, Project)
+        assert isinstance(plan.child.child, Select)
+        leaf = plan.child.child.child
+        assert isinstance(leaf, WindowScan)
+        assert leaf.stream.window == TimeWindow(10)
+
+    def test_rows_window(self, catalog):
+        plan = compile_query("SELECT * FROM s0 [ROWS 7]", catalog)
+        assert plan.stream.window == CountWindow(7)
+
+    def test_unbounded(self, catalog):
+        plan = compile_query("SELECT * FROM s0", catalog)
+        assert plan.stream.window is None
+
+    def test_join_with_prefixes(self, catalog):
+        plan = compile_query(
+            "SELECT * FROM s0 [RANGE 5] JOIN s1 [RANGE 5] ON s0.a = s1.a",
+            catalog)
+        assert isinstance(plan, Join)
+        assert plan.schema.fields == ("l_a", "l_b", "r_a", "r_b")
+
+    def test_join_disjoint_schema_no_prefixes(self, catalog):
+        plan = compile_query(
+            "SELECT * FROM s0 [RANGE 5] JOIN other [RANGE 5] ON a = c",
+            catalog)
+        assert plan.schema.fields == ("a", "b", "c", "d")
+
+    def test_on_clause_order_irrelevant(self, catalog):
+        plan = compile_query(
+            "SELECT * FROM s0 [RANGE 5] JOIN s1 [RANGE 5] ON s1.a = s0.a",
+            catalog)
+        assert isinstance(plan, Join)
+        assert isinstance(plan.left, WindowScan)
+        assert plan.left.stream.name == "s0"
+
+    def test_qualified_attribute_after_join(self, catalog):
+        plan = compile_query(
+            "SELECT s0.a FROM s0 [RANGE 5] JOIN s1 [RANGE 5] "
+            "ON s0.a = s1.a", catalog)
+        assert isinstance(plan, Project)
+        assert plan.schema.fields == ("l_a",)
+
+    def test_minus(self, catalog):
+        plan = compile_query(
+            "SELECT * FROM s0 [RANGE 5] MINUS s1 [RANGE 5] ON a", catalog)
+        assert isinstance(plan, Negation)
+        assert plan.left_attr == "a" and plan.right_attr == "a"
+
+    def test_minus_after_join_resolves_prefixed_attr(self, catalog):
+        plan = compile_query(
+            "SELECT * FROM s0 [RANGE 5] JOIN other [RANGE 5] ON a = c "
+            "MINUS s1 [RANGE 5] ON a", catalog)
+        assert isinstance(plan, Negation)
+        assert plan.left_attr == "a"  # no clash with `other`
+
+    def test_union_and_intersect(self, catalog):
+        assert isinstance(compile_query(
+            "SELECT * FROM s0 [RANGE 5] UNION s1 [RANGE 5]", catalog), Union)
+        assert isinstance(compile_query(
+            "SELECT * FROM s0 [RANGE 5] INTERSECT s1 [RANGE 5]", catalog),
+            Intersect)
+
+    def test_nrr_join(self, catalog):
+        plan = compile_query(
+            "SELECT * FROM s0 [RANGE 5] JOIN meta ON a = k", catalog)
+        assert isinstance(plan, NRRJoin)
+
+    def test_relation_join(self, catalog):
+        plan = compile_query(
+            "SELECT * FROM s0 [RANGE 5] JOIN acl ON a = k", catalog)
+        assert isinstance(plan, RelationJoin)
+
+    def test_group_by(self, catalog):
+        plan = compile_query(
+            "SELECT a, COUNT(*) AS n, SUM(b) FROM s0 [RANGE 5] GROUP BY a",
+            catalog)
+        assert isinstance(plan, GroupBy)
+        assert plan.schema.fields == ("a", "n", "sum_b")
+
+    def test_global_aggregate(self, catalog):
+        plan = compile_query("SELECT COUNT(*) FROM s0 [RANGE 5]", catalog)
+        assert isinstance(plan, GroupBy)
+        assert plan.keys == ()
+
+
+class TestCompilerErrors:
+    def test_relation_cannot_drive_query(self, catalog):
+        with pytest.raises(PlanError, match="relation"):
+            compile_query("SELECT * FROM acl", catalog)
+
+    def test_unknown_attribute(self, catalog):
+        with pytest.raises(PlanError, match="unknown attribute"):
+            compile_query("SELECT zzz FROM s0", catalog)
+
+    def test_ambiguous_attribute_requires_qualifier(self, catalog):
+        with pytest.raises(PlanError, match="ambiguous"):
+            compile_query(
+                "SELECT * FROM s0 [RANGE 5] AS x JOIN s1 [RANGE 5] AS y "
+                "ON x.a = y.a WHERE b = 1", catalog)
+
+    def test_duplicate_binding_needs_alias(self, catalog):
+        with pytest.raises(PlanError, match="duplicate source binding"):
+            compile_query(
+                "SELECT * FROM s0 [RANGE 5] JOIN s0 [RANGE 5] ON a = a",
+                catalog)
+
+    def test_self_join_with_aliases(self, catalog):
+        plan = compile_query(
+            "SELECT * FROM s0 [RANGE 5] AS x JOIN s0 [RANGE 5] AS y "
+            "ON x.a = y.a", catalog)
+        assert isinstance(plan, Join)
+
+    def test_selected_column_must_be_group_key(self, catalog):
+        with pytest.raises(PlanError, match="not GROUP BY keys"):
+            compile_query("SELECT b, COUNT(*) FROM s0 [RANGE 5] GROUP BY a",
+                          catalog)
+
+    def test_distinct_with_aggregates_rejected(self, catalog):
+        with pytest.raises(PlanError, match="DISTINCT"):
+            compile_query("SELECT DISTINCT COUNT(*) FROM s0 [RANGE 5]",
+                          catalog)
+
+    def test_group_by_without_aggregates(self, catalog):
+        with pytest.raises(PlanError, match="at least one aggregate"):
+            compile_query("SELECT a FROM s0 [RANGE 5] GROUP BY a", catalog)
+
+    def test_union_with_relation_rejected(self, catalog):
+        with pytest.raises(PlanError, match="UNION requires a stream"):
+            compile_query("SELECT * FROM s0 [RANGE 5] UNION acl", catalog)
+
+
+class TestExecutionRoundTrip:
+    """Compiled queries must run and produce the right answers."""
+
+    def run(self, text, catalog, events, mode=Mode.UPA):
+        plan = compile_query(text, catalog)
+        query = ContinuousQuery(plan, ExecutionConfig(mode=mode))
+        query.run(events)
+        return query.answer()
+
+    def test_filter_and_project(self, catalog):
+        events = [Arrival(1, "s0", (1, "x")), Arrival(2, "s0", (2, "y"))]
+        answer = self.run("SELECT b FROM s0 [RANGE 10] WHERE a = 2",
+                          catalog, events)
+        assert answer == Counter({("y",): 1})
+
+    def test_join_round_trip(self, catalog):
+        events = [Arrival(1, "s0", (1, "x")), Arrival(2, "s1", (1, "z"))]
+        answer = self.run(
+            "SELECT * FROM s0 [RANGE 10] JOIN s1 [RANGE 10] "
+            "ON s0.a = s1.a", catalog, events)
+        assert answer == Counter({(1, "x", 1, "z"): 1})
+
+    def test_group_by_round_trip(self, catalog):
+        events = [Arrival(1, "s0", ("g", 2)), Arrival(2, "s0", ("g", 3))]
+        answer = self.run(
+            "SELECT a, COUNT(*) AS n, SUM(b) FROM s0 [RANGE 10] GROUP BY a",
+            catalog, events)
+        assert answer == Counter({("g", 2, 5): 1})
+
+    def test_minus_round_trip(self, catalog):
+        events = [Arrival(1, "s0", (1, "x")), Arrival(2, "s1", (1, "q"))]
+        answer = self.run(
+            "SELECT * FROM s0 [RANGE 10] MINUS s1 [RANGE 10] ON a",
+            catalog, events, mode=Mode.UPA)
+        assert answer == Counter()
+
+    def test_nrr_join_round_trip(self, catalog):
+        events = [Arrival(1, "s0", ("x", "b"))]
+        answer = self.run(
+            "SELECT * FROM s0 [RANGE 10] JOIN meta ON a = k",
+            catalog, events)
+        assert answer == Counter({("x", "b", "x", "ex"): 1})
+
+    def test_count_window_round_trip(self, catalog):
+        events = [Arrival(i, "s0", (i, "v")) for i in range(1, 5)]
+        answer = self.run("SELECT a FROM s0 [ROWS 2]", catalog, events)
+        assert answer == Counter({(3,): 1, (4,): 1})

@@ -1,0 +1,155 @@
+"""Tests for the query-language lexer and parser."""
+
+import pytest
+
+from repro.lang.ast import WindowClause
+from repro.lang.parser import ParseError, parse
+from repro.lang.tokens import LexError, TokenType, tokenize
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_preserve_case(self):
+        (ident, _end) = tokenize("Link0")
+        assert ident.type is TokenType.IDENT and ident.value == "Link0"
+
+    def test_numbers_int_and_float(self):
+        values = [t.value for t in tokenize("100 2.5") if
+                  t.type is TokenType.NUMBER]
+        assert values == ["100", "2.5"]
+
+    def test_string_literals(self):
+        (s, _end) = tokenize("'ftp'")
+        assert s.type is TokenType.STRING and s.value == "ftp"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_dotted_identifier_not_a_number(self):
+        kinds = [t.type for t in tokenize("link0.src")][:-1]
+        assert kinds == [TokenType.IDENT, TokenType.SYMBOL, TokenType.IDENT]
+
+    def test_two_char_operators(self):
+        values = [t.value for t in tokenize("a <= b >= c != d <> e")
+                  if t.type is TokenType.SYMBOL]
+        assert values == ["<=", ">=", "!=", "<>"]
+
+    def test_garbage_rejected(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("select ;")
+
+    def test_end_token_always_present(self):
+        assert tokenize("")[-1].type is TokenType.END
+
+
+class TestParserBasics:
+    def test_minimal_query(self):
+        ast = parse("SELECT * FROM s")
+        assert ast.select.star
+        assert ast.source.name == "s"
+        assert ast.source.window is None
+
+    def test_range_window(self):
+        ast = parse("SELECT * FROM s [RANGE 100]")
+        assert ast.source.window == WindowClause("range", 100.0)
+
+    def test_rows_window(self):
+        ast = parse("SELECT * FROM s [ROWS 20]")
+        assert ast.source.window == WindowClause("rows", 20.0)
+
+    def test_unbounded_window(self):
+        ast = parse("SELECT * FROM s [UNBOUNDED]")
+        assert ast.source.window == WindowClause("unbounded", None)
+
+    def test_alias(self):
+        ast = parse("SELECT * FROM s [RANGE 5] AS t")
+        assert ast.source.alias == "t"
+        assert ast.source.binding == "t"
+
+    def test_distinct_columns(self):
+        ast = parse("SELECT DISTINCT a, b FROM s")
+        assert ast.select.distinct
+        assert [c.name for c in ast.select.columns] == ["a", "b"]
+
+    def test_qualified_columns(self):
+        ast = parse("SELECT s.a FROM s")
+        (col,) = ast.select.columns
+        assert col.qualifier == "s" and col.name == "a"
+
+
+class TestParserClauses:
+    def test_join(self):
+        ast = parse("SELECT * FROM a [RANGE 1] JOIN b [RANGE 1] "
+                    "ON a.x = b.y")
+        (join,) = ast.joins
+        assert join.source.name == "b"
+        assert str(join.left) == "a.x" and str(join.right) == "b.y"
+
+    def test_multiple_joins(self):
+        ast = parse("SELECT * FROM a JOIN b ON x = y JOIN c ON x = z")
+        assert len(ast.joins) == 2
+
+    def test_minus(self):
+        ast = parse("SELECT * FROM a [RANGE 9] MINUS b [RANGE 9] ON v")
+        assert ast.minus.source.name == "b"
+        assert ast.minus.column.name == "v"
+
+    def test_union_and_intersect(self):
+        ast = parse("SELECT * FROM a UNION b")
+        assert ast.set_ops[0].op == "union"
+        ast = parse("SELECT * FROM a INTERSECT b")
+        assert ast.set_ops[0].op == "intersect"
+
+    def test_where_conjunction(self):
+        ast = parse("SELECT * FROM s WHERE a = 1 AND b != 'x' AND c <= 2.5")
+        assert [c.op for c in ast.where] == ["=", "!=", "<="]
+        assert [c.literal for c in ast.where] == [1, "x", 2.5]
+
+    def test_diamond_not_equal(self):
+        ast = parse("SELECT * FROM s WHERE a <> 1")
+        assert ast.where[0].op == "!="
+
+    def test_group_by_with_aggregates(self):
+        ast = parse("SELECT g, COUNT(*) AS n, SUM(x), AVG(x), MIN(x), "
+                    "MAX(x) FROM s GROUP BY g")
+        assert [a.kind for a in ast.select.aggregates] == \
+            ["count", "sum", "avg", "min", "max"]
+        assert ast.select.aggregates[0].default_alias() == "n"
+        assert ast.select.aggregates[1].default_alias() == "sum_x"
+        assert [c.name for c in ast.group_by] == ["g"]
+
+    def test_global_aggregate(self):
+        ast = parse("SELECT COUNT(*) FROM s")
+        assert ast.select.aggregates[0].column is None
+        assert not ast.group_by
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize("text,message", [
+        ("FROM s", "expected SELECT"),
+        ("SELECT * FROM", "identifier"),
+        ("SELECT * FROM s [RANGE]", "number"),
+        ("SELECT * FROM s [FOO 1]", "RANGE, ROWS or UNBOUNDED"),
+        ("SELECT * FROM s WHERE a", "comparison operator"),
+        ("SELECT * FROM s WHERE a = ", "literal"),
+        ("SELECT * FROM a JOIN b", "expected ON"),
+        ("SELECT * FROM s GROUP a", "expected BY"),
+        ("SELECT * FROM s extra", "trailing"),
+        ("SELECT * FROM a MINUS b ON v MINUS c ON v", "at most one MINUS"),
+        ("SELECT * FROM a MINUS b ON v JOIN c ON x = y",
+         "JOIN after MINUS"),
+    ])
+    def test_rejects(self, text, message):
+        with pytest.raises(ParseError, match=message):
+            parse(text)
+
+    def test_error_mentions_position_and_query(self):
+        with pytest.raises(ParseError) as err:
+            parse("SELECT * FROM s WHERE a AND")
+        assert "position" in str(err.value)
+        assert "SELECT * FROM s" in str(err.value)

@@ -1,0 +1,97 @@
+"""Tests for subquery sources in the query language."""
+
+from collections import Counter
+
+import pytest
+
+from repro import (
+    Arrival,
+    ContinuousQuery,
+    DupElim,
+    ExecutionConfig,
+    Join,
+    Mode,
+    Negation,
+    PlanError,
+    Schema,
+    SourceCatalog,
+    Union,
+    compile_query,
+)
+from repro.lang.parser import ParseError, parse
+
+AB = Schema(["a", "b"])
+
+
+@pytest.fixture
+def catalog():
+    cat = SourceCatalog()
+    cat.add_stream("s0", AB)
+    cat.add_stream("s1", AB)
+    return cat
+
+
+class TestParsing:
+    def test_subquery_source_requires_alias(self):
+        with pytest.raises(ParseError, match="expected AS"):
+            parse("SELECT * FROM (SELECT * FROM s0)")
+
+    def test_subquery_ast_shape(self):
+        ast = parse("SELECT * FROM (SELECT a FROM s0 [RANGE 5]) AS sub")
+        assert ast.source.subquery is not None
+        assert ast.source.binding == "sub"
+        assert ast.source.subquery.select.columns[0].name == "a"
+
+    def test_nested_subqueries(self):
+        ast = parse(
+            "SELECT * FROM (SELECT * FROM (SELECT a FROM s0 [RANGE 5]) "
+            "AS inner_q) AS outer_q")
+        assert ast.source.subquery.source.subquery is not None
+
+
+class TestCompilation:
+    def test_distinct_join_distinct(self, catalog):
+        plan = compile_query(
+            "SELECT * FROM (SELECT DISTINCT a FROM s0 [RANGE 5]) AS x "
+            "JOIN (SELECT DISTINCT a FROM s1 [RANGE 5]) AS y ON x.a = y.a",
+            catalog)
+        assert isinstance(plan, Join)
+        assert isinstance(plan.left, DupElim)
+        assert isinstance(plan.right, DupElim)
+
+    def test_minus_subquery_join(self, catalog):
+        plan = compile_query(
+            "SELECT * FROM (SELECT a FROM s0 [RANGE 5] MINUS s1 [RANGE 5] "
+            "ON a) AS neg JOIN s1 [RANGE 5] ON neg.a = s1.a", catalog)
+        assert isinstance(plan, Join)
+        assert any(isinstance(n, Negation) for n in plan.walk())
+
+    def test_union_of_subqueries(self, catalog):
+        plan = compile_query(
+            "SELECT * FROM (SELECT a FROM s0 [RANGE 5]) AS x "
+            "UNION (SELECT a FROM s1 [RANGE 5]) AS y", catalog)
+        assert isinstance(plan, Union)
+
+    def test_groupby_subquery_rejected(self, catalog):
+        with pytest.raises(PlanError, match="GROUP BY subquery"):
+            compile_query(
+                "SELECT * FROM (SELECT a, COUNT(*) FROM s0 [RANGE 5] "
+                "GROUP BY a) AS g", catalog)
+
+    def test_qualified_resolution_against_subquery(self, catalog):
+        plan = compile_query(
+            "SELECT x.a FROM (SELECT a FROM s0 [RANGE 5]) AS x", catalog)
+        assert plan.schema.fields == ("a",)
+
+
+class TestExecution:
+    def test_round_trip_matches_builder_equivalent(self, catalog):
+        text_plan = compile_query(
+            "SELECT * FROM (SELECT DISTINCT a FROM s0 [RANGE 10]) AS x "
+            "JOIN (SELECT DISTINCT a FROM s1 [RANGE 10]) AS y ON x.a = y.a",
+            catalog)
+        events = [Arrival(1, "s0", (1, "p")), Arrival(2, "s0", (1, "q")),
+                  Arrival(3, "s1", (1, "r"))]
+        query = ContinuousQuery(text_plan, ExecutionConfig(mode=Mode.UPA))
+        query.run(events)
+        assert query.answer() == Counter({(1, 1): 1})

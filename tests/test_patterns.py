@@ -1,0 +1,75 @@
+"""Unit tests for the update-pattern lattice and propagation rules."""
+
+import pytest
+
+from repro import MONOTONIC, STR, UpdatePattern, WK, WKS
+from repro.core.patterns import (
+    most_complex,
+    rule1_unary_weakest,
+    rule2_binary_weakest,
+    rule3_weak,
+    rule4_groupby,
+    rule5_strict,
+)
+
+
+class TestLattice:
+    def test_ordering_matches_complexity(self):
+        assert MONOTONIC < WKS < WK < STR
+
+    def test_monotonic_flag(self):
+        assert MONOTONIC.is_monotonic
+        assert not WKS.is_monotonic
+
+    def test_only_str_needs_negatives(self):
+        assert STR.needs_negative_tuples
+        assert not any(p.needs_negative_tuples for p in (MONOTONIC, WKS, WK))
+
+    def test_fifo_expiration(self):
+        assert MONOTONIC.expiration_is_fifo
+        assert WKS.expiration_is_fifo
+        assert not WK.expiration_is_fifo
+        assert not STR.expiration_is_fifo
+
+    def test_str_rendering(self):
+        assert str(WKS) == "WKS"
+        assert str(STR) == "STR"
+
+    def test_most_complex(self):
+        assert most_complex([WKS, WK]) is WK
+        assert most_complex([WKS, STR, WK]) is STR
+        assert most_complex([]) is MONOTONIC
+
+
+class TestRules:
+    def test_rule1_passthrough(self):
+        for p in UpdatePattern:
+            assert rule1_unary_weakest(p) is p
+
+    @pytest.mark.parametrize("left,right,expected", [
+        (WKS, WKS, WKS),
+        (MONOTONIC, MONOTONIC, MONOTONIC),
+        (WKS, WK, WK),
+        (WK, WKS, WK),
+        (WKS, STR, STR),
+        (STR, WK, STR),
+    ])
+    def test_rule2_takes_more_complex(self, left, right, expected):
+        assert rule2_binary_weakest(left, right) is expected
+
+    def test_rule3_weak_default(self):
+        assert rule3_weak(WKS, WKS) is WK
+        assert rule3_weak(WK) is WK
+        assert rule3_weak(MONOTONIC, WK) is WK
+
+    def test_rule3_str_dominates(self):
+        assert rule3_weak(STR, WKS) is STR
+        assert rule3_weak(WKS, STR) is STR
+
+    def test_rule4_groupby_always_wk(self):
+        for p in UpdatePattern:
+            assert rule4_groupby(p) is WK
+
+    def test_rule5_strict_always_str(self):
+        assert rule5_strict(WKS, WKS) is STR
+        assert rule5_strict(MONOTONIC) is STR

@@ -1,0 +1,170 @@
+"""Unit tests for the logical plan algebra (repro.core.plan)."""
+
+import pytest
+
+from repro import (
+    AggregateSpec,
+    DupElim,
+    GroupBy,
+    Intersect,
+    Join,
+    Negation,
+    NRR,
+    NRRJoin,
+    PlanError,
+    Predicate,
+    Project,
+    Relation,
+    RelationJoin,
+    Schema,
+    SchemaError,
+    Select,
+    StreamDef,
+    TimeWindow,
+    Union,
+    WindowScan,
+    attr_equals,
+)
+
+AB = Schema(["a", "b"])
+
+
+def scan(name="s", schema=AB, window=TimeWindow(10)):
+    return WindowScan(StreamDef(name, schema, window))
+
+
+class TestLeafAndUnary:
+    def test_window_scan_schema(self):
+        assert scan().schema == AB
+
+    def test_window_scan_has_no_children(self):
+        node = scan()
+        assert node.children == ()
+        with pytest.raises(PlanError):
+            node.with_children([scan()])
+
+    def test_select_binds_predicate_builder(self):
+        node = Select(scan(), attr_equals("a", 1))
+        assert node.schema == AB
+        assert node.predicate.fn((1, "x"))
+        assert not node.predicate.fn((2, "x"))
+
+    def test_select_rejects_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            Select(scan(), Predicate(("zzz",), lambda v: True, "bad"))
+
+    def test_project_schema_and_indices(self):
+        node = Project(scan(), ["b"])
+        assert node.schema == Schema(["b"])
+        assert node.indices == (1,)
+
+    def test_dupelim_preserves_schema(self):
+        assert DupElim(scan()).schema == AB
+
+    def test_with_children_rebuilds(self):
+        sel = Select(scan(), attr_equals("a", 1))
+        other = scan("s2")
+        rebuilt = sel.with_children([other])
+        assert rebuilt.child is other
+        assert rebuilt.predicate is sel.predicate
+
+
+class TestBinary:
+    def test_union_requires_equal_schemas(self):
+        with pytest.raises(SchemaError):
+            Union(scan(), scan(schema=Schema(["a"])))
+        assert Union(scan(), scan("s2")).schema == AB
+
+    def test_join_schema_disambiguates_clashes(self):
+        node = Join(scan("s1"), scan("s2"), "a", "a")
+        assert node.schema.fields == ("l_a", "l_b", "r_a", "r_b")
+
+    def test_join_disjoint_schemas_unprefixed(self):
+        node = Join(scan("s1"), scan("s2", Schema(["c", "d"])), "a", "c")
+        assert node.schema.fields == ("a", "b", "c", "d")
+
+    def test_join_validates_attrs(self):
+        with pytest.raises(SchemaError):
+            Join(scan(), scan("s2"), "zzz", "a")
+
+    def test_intersect_requires_equal_schemas(self):
+        with pytest.raises(SchemaError):
+            Intersect(scan(), scan(schema=Schema(["a"])))
+        assert Intersect(scan(), scan("s2")).schema == AB
+
+    def test_negation_keeps_left_schema(self):
+        node = Negation(scan("s1"), scan("s2", Schema(["a", "z"])), "a")
+        assert node.schema == AB
+
+    def test_negation_right_attr_defaults_to_left(self):
+        node = Negation(scan("s1"), scan("s2"), "a")
+        assert node.right_attr == "a"
+
+    def test_negation_distinct_attrs(self):
+        node = Negation(scan("s1"), scan("s2", Schema(["x", "y"])), "a", "x")
+        assert node.left_attr == "a" and node.right_attr == "x"
+
+
+class TestGroupByNode:
+    def test_schema_is_keys_plus_aliases(self):
+        node = GroupBy(scan(), ["a"], [AggregateSpec("count", None, "n"),
+                                       AggregateSpec("sum", "b", "total")])
+        assert node.schema.fields == ("a", "n", "total")
+
+    def test_requires_aggregates(self):
+        with pytest.raises(PlanError):
+            GroupBy(scan(), ["a"], [])
+
+    def test_validates_key_and_agg_attrs(self):
+        with pytest.raises(SchemaError):
+            GroupBy(scan(), ["zzz"], [AggregateSpec("count", None, "n")])
+        with pytest.raises(SchemaError):
+            GroupBy(scan(), ["a"], [AggregateSpec("sum", "zzz", "s")])
+
+    def test_aggregate_spec_validation(self):
+        with pytest.raises(PlanError):
+            AggregateSpec("median", "a", "m")
+        with pytest.raises(PlanError):
+            AggregateSpec("sum", None, "s")  # sum needs an attribute
+
+
+class TestRelationJoins:
+    def test_nrr_join_requires_nrr(self):
+        rel = Relation("r", Schema(["k", "v"]))
+        with pytest.raises(PlanError, match="requires an NRR"):
+            NRRJoin(scan(), rel, "a", "k")
+
+    def test_relation_join_rejects_nrr(self):
+        nrr = NRR("n", Schema(["k", "v"]))
+        with pytest.raises(PlanError, match="retroactive"):
+            RelationJoin(scan(), nrr, "a", "k")
+
+    def test_nrr_join_schema(self):
+        nrr = NRR("n", Schema(["k", "v"]))
+        node = NRRJoin(scan(), nrr, "a", "k")
+        assert node.schema.fields == ("a", "b", "k", "v")
+
+    def test_relation_join_schema_with_clash(self):
+        rel = Relation("r", Schema(["a", "v"]))
+        node = RelationJoin(scan(), rel, "a", "a")
+        assert node.schema.fields == ("l_a", "b", "r_a", "v")
+
+
+class TestTreeHelpers:
+    def test_walk_children_before_parents(self):
+        leaf1, leaf2 = scan("s1"), scan("s2")
+        join = Join(leaf1, leaf2, "a", "a")
+        nodes = list(join.walk())
+        assert nodes.index(leaf1) < nodes.index(join)
+        assert nodes.index(leaf2) < nodes.index(join)
+        assert nodes[-1] is join
+
+    def test_leaves(self):
+        join = Join(scan("s1"), Select(scan("s2"), attr_equals("a", 1)),
+                    "a", "a")
+        assert {l.stream.name for l in join.leaves()} == {"s1", "s2"}
+
+    def test_describe_is_informative(self):
+        assert "s1" in scan("s1").describe()
+        assert "a = 1" in Select(scan(), attr_equals("a", 1)).describe()
+        assert "Join" in Join(scan("s1"), scan("s2"), "a", "a").describe()

@@ -1,0 +1,54 @@
+"""Tests for memory profiling and the memory trade-offs it measures."""
+
+from repro import ContinuousQuery, ExecutionConfig, Mode, from_window
+from repro.engine.profiling import MemoryProfile, MemorySample, profile_memory
+
+from conftest import random_arrivals, stream_pair
+
+
+def join_query(**cfg):
+    s0, s1 = stream_pair(window=8)
+    plan = from_window(s0).join(from_window(s1), on="v").build()
+    return ContinuousQuery(plan, ExecutionConfig(**cfg))
+
+
+class TestProfileMechanics:
+    def test_samples_taken_at_interval(self):
+        query = join_query(mode=Mode.UPA)
+        result, profile = profile_memory(query, random_arrivals(n=100),
+                                         sample_every=10)
+        assert len(profile.samples) == (100 + 1) // 10
+        assert result.events_processed == 101
+
+    def test_sample_fields(self):
+        query = join_query(mode=Mode.UPA)
+        _result, profile = profile_memory(query, random_arrivals(n=60),
+                                          sample_every=5)
+        sample = profile.samples[0]
+        assert isinstance(sample, MemorySample)
+        assert sample.total == sample.operator_state + sample.view_size
+
+    def test_empty_profile(self):
+        profile = MemoryProfile([])
+        assert profile.peak_total == 0
+        assert profile.mean_total == 0.0
+
+
+class TestMemoryTradeoffs:
+    def test_lazier_purging_retains_more_state(self):
+        """Section 5.4.2: a longer lazy interval trades memory for time."""
+        events = random_arrivals(n=400, seed=23)
+        eager = join_query(mode=Mode.UPA, lazy_interval=0.5)
+        lazy = join_query(mode=Mode.UPA, lazy_interval=40.0)
+        _r1, eager_profile = profile_memory(eager, list(events), 10)
+        _r2, lazy_profile = profile_memory(lazy, list(events), 10)
+        assert lazy_profile.peak_state > eager_profile.peak_state
+
+    def test_nt_stores_windows_on_top_of_operator_state(self):
+        """NT must materialize the base windows (Section 2.3.1)."""
+        events = random_arrivals(n=400, seed=23)
+        nt = join_query(mode=Mode.NT)
+        upa = join_query(mode=Mode.UPA, lazy_interval=0.5)
+        _r1, nt_profile = profile_memory(nt, list(events), 10)
+        _r2, upa_profile = profile_memory(upa, list(events), 10)
+        assert nt_profile.peak_state > upa_profile.peak_state

@@ -1,0 +1,109 @@
+"""Tests for the public query facade and the builder API."""
+
+import pytest
+
+from repro import (
+    ContinuousQuery,
+    ExecutionConfig,
+    Mode,
+    NRR,
+    Relation,
+    Schema,
+    SchemaError,
+    StreamDef,
+    TimeWindow,
+    agg_max,
+    agg_min,
+    agg_sum,
+    arrivals,
+    attr_equals,
+    avg,
+    count,
+    from_window,
+    run_query,
+)
+
+V = Schema(["v"])
+VX = Schema(["v", "x"])
+
+
+def stream(name="s0", schema=V):
+    return StreamDef(name, schema, TimeWindow(10))
+
+
+class TestBuilder:
+    def test_builders_are_immutable_and_reusable(self):
+        base = from_window(stream())
+        a = base.where(attr_equals("v", 1))
+        b = base.where(attr_equals("v", 2))
+        assert a.build() is not b.build()
+        assert base.build().children == ()  # base untouched
+
+    def test_chain_produces_expected_shape(self):
+        plan = (from_window(stream("s0"))
+                .where(attr_equals("v", 1))
+                .join(from_window(stream("s1")), on="v")
+                .distinct()
+                .build())
+        names = [type(n).__name__ for n in plan.walk()]
+        assert names == ["WindowScan", "Select", "WindowScan", "Join",
+                         "DupElim"]
+
+    def test_schema_property(self):
+        assert from_window(stream()).schema == V
+
+    def test_minus_right_on(self):
+        other = StreamDef("s1", Schema(["w"]), TimeWindow(10))
+        plan = (from_window(stream())
+                .minus(from_window(other), on="v", right_on="w").build())
+        assert plan.right_attr == "w"
+
+    def test_join_nrr_and_relation(self):
+        nrr = NRR("n", Schema(["k", "m"]))
+        rel = Relation("r", Schema(["k", "m"]))
+        p1 = from_window(stream()).join_nrr(nrr, on="v", rel_on="k").build()
+        p2 = from_window(stream()).join_relation(rel, on="v",
+                                                 rel_on="k").build()
+        assert p1.schema.fields == ("v", "k", "m")
+        assert p2.schema.fields == ("v", "k", "m")
+
+    def test_aggregate_helpers(self):
+        specs = [count("n"), agg_sum("x"), avg("x"), agg_min("x"),
+                 agg_max("x", "biggest")]
+        assert [s.kind for s in specs] == ["count", "sum", "avg", "min",
+                                           "max"]
+        assert specs[1].alias == "sum_x"
+        assert specs[4].alias == "biggest"
+        plan = from_window(stream(schema=VX)).group_by(["v"], specs).build()
+        assert "biggest" in plan.schema
+
+    def test_bad_attribute_fails_at_build_time(self):
+        with pytest.raises(SchemaError):
+            from_window(stream()).project("nope")
+
+
+class TestFacade:
+    def test_explain_includes_patterns(self):
+        query = ContinuousQuery(
+            from_window(stream("s0")).join(from_window(stream("s1")),
+                                           on="v").build())
+        assert "WK" in query.explain()
+
+    def test_run_query_one_shot(self):
+        plan = from_window(stream()).build()
+        result = run_query(plan, arrivals("s0", [(1, (7,))]), mode=Mode.UPA)
+        assert result.answer() == {(7,): 1}
+
+    def test_mode_property(self):
+        query = ContinuousQuery(from_window(stream()).build(),
+                                ExecutionConfig(mode=Mode.NT))
+        assert query.mode is Mode.NT
+
+    def test_default_config_is_upa(self):
+        assert ContinuousQuery(from_window(stream()).build()).mode is Mode.UPA
+
+    def test_answer_mid_stream(self):
+        query = ContinuousQuery(from_window(stream()).build())
+        events = arrivals("s0", [(1, (1,)), (2, (2,))])
+        query.executor.process_event(events[0])
+        assert sum(query.answer().values()) == 1

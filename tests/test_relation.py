@@ -1,0 +1,93 @@
+"""Tests for Relation and NRR (Section 4.1 semantics)."""
+
+import pytest
+
+from repro import NRR, Relation, Schema, WorkloadError
+
+KV = Schema(["k", "v"])
+
+
+class TestRelation:
+    def test_insert_and_multiplicity(self):
+        r = Relation("r", KV)
+        r.insert(("a", 1))
+        r.insert(("a", 1))
+        assert len(r) == 2
+        assert r.multiset()[("a", 1)] == 2
+
+    def test_delete_decrements(self):
+        r = Relation("r", KV, [("a", 1), ("a", 1)])
+        r.delete(("a", 1))
+        assert len(r) == 1
+
+    def test_delete_absent_raises(self):
+        r = Relation("r", KV)
+        with pytest.raises(WorkloadError, match="not present"):
+            r.delete(("a", 1))
+
+    def test_arity_checked(self):
+        r = Relation("r", KV)
+        with pytest.raises(WorkloadError, match="arity"):
+            r.insert(("a",))
+
+    def test_match_via_index(self):
+        r = Relation("r", KV, [("a", 1), ("a", 2), ("b", 3)])
+        assert sorted(r.match(0, "a")) == [("a", 1), ("a", 2)]
+        assert r.match(0, "zzz") == []
+
+    def test_index_maintained_across_updates(self):
+        r = Relation("r", KV, [("a", 1)])
+        r.ensure_index(0)
+        r.insert(("a", 2))
+        r.delete(("a", 1))
+        assert r.match(0, "a") == [("a", 2)]
+
+    def test_match_respects_multiplicity(self):
+        r = Relation("r", KV, [("a", 1), ("a", 1)])
+        assert r.match(0, "a") == [("a", 1), ("a", 1)]
+
+    def test_rows_and_contains(self):
+        r = Relation("r", KV, [("a", 1)])
+        assert ("a", 1) in r
+        assert ("b", 2) not in r
+        assert r.rows() == [("a", 1)]
+
+
+class TestNRR:
+    def test_initial_rows_visible_from_start(self):
+        n = NRR("n", KV, [("a", 1)])
+        assert n.snapshot_at(float("-inf"))[("a", 1)] == 1
+
+    def test_snapshot_respects_update_times(self):
+        n = NRR("n", KV)
+        n.insert_at(5, ("a", 1))
+        n.delete_at(10, ("a", 1))
+        assert ("a", 1) not in n.snapshot_at(4)
+        assert n.snapshot_at(5)[("a", 1)] == 1
+        assert n.snapshot_at(7)[("a", 1)] == 1
+        assert ("a", 1) not in n.snapshot_at(10)
+
+    def test_current_state_tracks_updates(self):
+        n = NRR("n", KV)
+        n.insert_at(1, ("a", 1))
+        assert len(n) == 1
+        n.delete_at(2, ("a", 1))
+        assert len(n) == 0
+
+    def test_version_count(self):
+        n = NRR("n", KV, [("a", 1)])
+        before = n.version_count
+        n.insert_at(1, ("b", 2))
+        assert n.version_count == before + 1
+
+    def test_stock_ticker_scenario(self):
+        """The paper's motivating example: delisting a company must not
+        affect previously reported quotes (snapshots differ over time)."""
+        symbols = NRR("symbols", Schema(["symbol", "company"]),
+                      [("ACME", "Acme Corp")])
+        # A quote at ts=3 sees ACME; the delisting at ts=5 only affects
+        # quotes arriving later.
+        assert symbols.snapshot_at(3)[("ACME", "Acme Corp")] == 1
+        symbols.delete_at(5, ("ACME", "Acme Corp"))
+        assert symbols.snapshot_at(3)[("ACME", "Acme Corp")] == 1
+        assert ("ACME", "Acme Corp") not in symbols.snapshot_at(6)

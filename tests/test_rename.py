@@ -1,0 +1,71 @@
+"""Tests for the Rename (ρ) operator."""
+
+from collections import Counter
+
+import pytest
+
+from repro import (
+    Arrival,
+    ContinuousQuery,
+    ExecutionConfig,
+    Mode,
+    Rename,
+    Schema,
+    SchemaError,
+    StreamDef,
+    TimeWindow,
+    Union,
+    WindowScan,
+    WKS,
+    annotate,
+    from_window,
+)
+
+V = Schema(["v"])
+
+
+def scan(name, schema=V):
+    return WindowScan(StreamDef(name, schema, TimeWindow(10)))
+
+
+class TestRenameNode:
+    def test_schema_renamed_positionally(self):
+        node = Rename(scan("s", Schema(["a", "b"])), ["x", "y"])
+        assert node.schema.fields == ("x", "y")
+
+    def test_arity_checked(self):
+        with pytest.raises(SchemaError, match="rename needs"):
+            Rename(scan("s", Schema(["a", "b"])), ["x"])
+
+    def test_pattern_passthrough(self):
+        node = Rename(scan("s"), ["w"])
+        assert annotate(node).output_pattern is WKS
+
+    def test_with_children(self):
+        node = Rename(scan("s"), ["w"])
+        rebuilt = node.with_children([scan("t")])
+        assert rebuilt.schema.fields == ("w",)
+
+    def test_enables_union_of_mismatched_schemas(self):
+        left = scan("a", Schema(["x"]))
+        right = Rename(scan("b", Schema(["y"])), ["x"])
+        assert Union(left, right).schema.fields == ("x",)
+
+
+class TestRenameExecution:
+    @pytest.mark.parametrize("mode", [Mode.NT, Mode.DIRECT, Mode.UPA])
+    def test_values_pass_through_unchanged(self, mode):
+        stream = StreamDef("s", Schema(["a", "b"]), TimeWindow(10))
+        plan = from_window(stream).rename("x", "y").build()
+        query = ContinuousQuery(plan, ExecutionConfig(mode=mode))
+        query.run([Arrival(1, "s", (1, 2))])
+        assert query.answer() == Counter({(1, 2): 1})
+
+    def test_rename_then_join_on_new_name(self):
+        a = StreamDef("a", Schema(["x"]), TimeWindow(10))
+        b = StreamDef("b", Schema(["y"]), TimeWindow(10))
+        plan = (from_window(a)
+                .join(from_window(b).rename("x"), on="x").build())
+        query = ContinuousQuery(plan, ExecutionConfig(mode=Mode.UPA))
+        query.run([Arrival(1, "a", (7,)), Arrival(2, "b", (7,))])
+        assert sum(query.answer().values()) == 1

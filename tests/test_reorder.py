@@ -1,0 +1,115 @@
+"""Tests for the bounded reorder buffer (out-of-order arrival substrate)."""
+
+import pytest
+
+from repro import (
+    Arrival,
+    ContinuousQuery,
+    ExecutionError,
+    ExecutionConfig,
+    Mode,
+    RelationUpdate,
+    Schema,
+    StreamDef,
+    Tick,
+    TimeWindow,
+    WorkloadError,
+    from_window,
+)
+from repro.streams.reorder import ADJUST, DROP, RAISE, ReorderBuffer
+
+
+def arr(ts, value=0):
+    return Arrival(ts, "s", (value,))
+
+
+class TestOrdering:
+    def test_in_order_passthrough(self):
+        buf = ReorderBuffer(slack=5)
+        out = []
+        for ts in (1, 2, 3):
+            out.extend(buf.push(arr(ts)))
+        out.extend(buf.flush())
+        assert [e.ts for e in out] == [1, 2, 3]
+
+    def test_reorders_within_slack(self):
+        buf = ReorderBuffer(slack=5)
+        sequence = [arr(3), arr(1), arr(2), arr(10), arr(7), arr(20)]
+        out = list(buf.reorder(sequence))
+        assert [e.ts for e in out] == [1, 2, 3, 7, 10, 20]
+
+    def test_release_is_watermark_driven(self):
+        buf = ReorderBuffer(slack=5)
+        assert buf.push(arr(3)) == []          # watermark -inf.. nothing out
+        released = buf.push(arr(10))           # watermark 5: release ts<=5
+        assert [e.ts for e in released] == [3]
+        assert len(buf) == 1                   # ts=10 still buffered
+
+    def test_ties_keep_insertion_order(self):
+        buf = ReorderBuffer(slack=0)
+        a, b = arr(1, "first"), arr(1, "second")
+        out = list(buf.reorder([a, b]))
+        assert [e.values[0] for e in out] == ["first", "second"]
+
+    def test_zero_slack_passthrough(self):
+        buf = ReorderBuffer(slack=0)
+        out = list(buf.reorder([arr(1), arr(2)]))
+        assert [e.ts for e in out] == [1, 2]
+
+
+class TestLatePolicies:
+    def make_late_sequence(self):
+        # ts=1 arrives after the buffer has already released ts=5.
+        return [arr(5), arr(30), arr(1)]
+
+    def test_raise_policy(self):
+        buf = ReorderBuffer(slack=2, late_policy=RAISE)
+        with pytest.raises(ExecutionError, match="arrived after"):
+            list(buf.reorder(self.make_late_sequence()))
+
+    def test_drop_policy(self):
+        buf = ReorderBuffer(slack=2, late_policy=DROP)
+        out = list(buf.reorder(self.make_late_sequence()))
+        assert [e.ts for e in out] == [5, 30]
+        assert buf.dropped == 1
+
+    def test_adjust_policy(self):
+        buf = ReorderBuffer(slack=2, late_policy=ADJUST)
+        out = list(buf.reorder(self.make_late_sequence()))
+        # The late ts=1 event is re-stamped to the last released timestamp
+        # (5) and re-released immediately; ts=30 flushes at the end.
+        assert [e.ts for e in out] == [5, 5, 30]
+        assert buf.adjusted == 1
+
+    def test_adjust_preserves_event_kind(self):
+        buf = ReorderBuffer(slack=0, late_policy=ADJUST)
+        list(buf.reorder([arr(10)]))
+        (adjusted,) = buf.push(RelationUpdate(1, "r", "insert", (1,)))
+        assert isinstance(adjusted, RelationUpdate)
+        assert adjusted.ts == 10
+        (tick,) = buf.push(Tick(2))
+        assert isinstance(tick, Tick) and tick.ts == 10
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ReorderBuffer(slack=-1)
+        with pytest.raises(WorkloadError):
+            ReorderBuffer(slack=1, late_policy="ignore")
+
+
+class TestEngineIntegration:
+    def test_engine_accepts_reordered_feed(self):
+        stream = StreamDef("s", Schema(["v"]), TimeWindow(10))
+        plan = from_window(stream).build()
+        query = ContinuousQuery(plan, ExecutionConfig(mode=Mode.UPA))
+        scrambled = [arr(3), arr(1), arr(5), arr(2), arr(4)]
+        buf = ReorderBuffer(slack=10)
+        result = query.run(buf.reorder(scrambled))
+        assert sum(result.answer().values()) == 5
+
+    def test_engine_rejects_the_same_feed_unbuffered(self):
+        stream = StreamDef("s", Schema(["v"]), TimeWindow(10))
+        plan = from_window(stream).build()
+        query = ContinuousQuery(plan, ExecutionConfig(mode=Mode.UPA))
+        with pytest.raises(ExecutionError, match="out-of-order"):
+            query.run([arr(3), arr(1)])

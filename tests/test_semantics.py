@@ -1,0 +1,125 @@
+"""Tests for the relational oracle itself, against hand-computed answers."""
+
+from collections import Counter
+
+from repro import (
+    AggregateSpec,
+    Arrival,
+    DupElim,
+    GroupBy,
+    Intersect,
+    Join,
+    Negation,
+    Project,
+    ReferenceEvaluator,
+    Schema,
+    Select,
+    StreamDef,
+    TimeWindow,
+    Union,
+    WindowScan,
+    attr_equals,
+)
+
+V = Schema(["v"])
+
+
+def scan(name, window=10):
+    return WindowScan(StreamDef(name, V, TimeWindow(window)))
+
+
+def feed(oracle, *events):
+    for ts, stream, value in events:
+        oracle.observe(Arrival(ts, stream, (value,)))
+
+
+class TestWindowing:
+    def test_window_contents_respect_expiry(self):
+        oracle = ReferenceEvaluator()
+        feed(oracle, (1, "s", "a"), (5, "s", "b"))
+        plan = scan("s")
+        assert oracle.evaluate(plan, 5) == Counter({("a",): 1, ("b",): 1})
+        assert oracle.evaluate(plan, 11) == Counter({("b",): 1})
+        assert oracle.evaluate(plan, 15) == Counter()
+
+    def test_tuples_from_the_future_excluded(self):
+        oracle = ReferenceEvaluator()
+        feed(oracle, (5, "s", "a"))
+        assert oracle.evaluate(scan("s"), 3) == Counter()
+
+
+class TestOperators:
+    def test_select(self):
+        oracle = ReferenceEvaluator()
+        feed(oracle, (1, "s", 1), (2, "s", 2))
+        plan = Select(scan("s"), attr_equals("v", 2))
+        assert oracle.evaluate(plan, 3) == Counter({(2,): 1})
+
+    def test_project_bag_semantics(self):
+        oracle = ReferenceEvaluator()
+        two = Schema(["a", "b"])
+        oracle.observe(Arrival(1, "s", (1, "x")))
+        oracle.observe(Arrival(2, "s", (2, "x")))
+        plan = Project(WindowScan(StreamDef("s", two, TimeWindow(10))), ["b"])
+        assert oracle.evaluate(plan, 3) == Counter({("x",): 2})
+
+    def test_union_adds_multiplicities(self):
+        oracle = ReferenceEvaluator()
+        feed(oracle, (1, "a", "x"), (2, "b", "x"))
+        plan = Union(scan("a"), scan("b"))
+        assert oracle.evaluate(plan, 3) == Counter({("x",): 2})
+
+    def test_join_counts_pairs(self):
+        oracle = ReferenceEvaluator()
+        feed(oracle, (1, "a", "k"), (2, "a", "k"), (3, "b", "k"))
+        plan = Join(scan("a"), scan("b"), "v", "v")
+        assert oracle.evaluate(plan, 4) == Counter({("k", "k"): 2})
+
+    def test_intersect_pair_semantics(self):
+        oracle = ReferenceEvaluator()
+        feed(oracle, (1, "a", "k"), (2, "a", "k"), (3, "b", "k"), (4, "b", "k"))
+        plan = Intersect(scan("a"), scan("b"))
+        assert oracle.evaluate(plan, 5) == Counter({("k",): 4})  # 2 × 2 pairs
+
+    def test_dupelim_one_per_value(self):
+        oracle = ReferenceEvaluator()
+        feed(oracle, (1, "s", "x"), (2, "s", "x"), (3, "s", "y"))
+        assert oracle.evaluate(DupElim(scan("s")), 4) == Counter(
+            {("x",): 1, ("y",): 1})
+
+    def test_groupby_count_and_sum(self):
+        oracle = ReferenceEvaluator()
+        two = Schema(["g", "x"])
+        for ts, g, x in [(1, "a", 10), (2, "a", 20), (3, "b", 5)]:
+            oracle.observe(Arrival(ts, "s", (g, x)))
+        plan = GroupBy(WindowScan(StreamDef("s", two, TimeWindow(10))),
+                       ["g"], [AggregateSpec("count", None, "n"),
+                               AggregateSpec("sum", "x", "total")])
+        assert oracle.evaluate(plan, 4) == Counter(
+            {("a", 2, 30): 1, ("b", 1, 5): 1})
+
+    def test_negation_equation1(self):
+        oracle = ReferenceEvaluator()
+        feed(oracle, (1, "a", "x"), (2, "a", "x"), (3, "b", "x"),
+             (4, "a", "y"))
+        plan = Negation(scan("a"), scan("b"), "v")
+        # x: v1=2, v2=1 -> one x; y: v1=1, v2=0 -> one y.
+        assert oracle.evaluate(plan, 5) == Counter({("x",): 1, ("y",): 1})
+
+    def test_negation_fully_suppressed(self):
+        oracle = ReferenceEvaluator()
+        feed(oracle, (1, "a", "x"), (2, "b", "x"), (3, "b", "x"))
+        plan = Negation(scan("a"), scan("b"), "v")
+        assert oracle.evaluate(plan, 4) == Counter()
+
+
+class TestObservationModel:
+    def test_now_tracks_latest_event(self):
+        oracle = ReferenceEvaluator()
+        feed(oracle, (1, "s", "a"), (7, "s", "b"))
+        assert oracle.now == 7
+
+    def test_evaluate_defaults_to_now(self):
+        oracle = ReferenceEvaluator()
+        feed(oracle, (1, "s", "a"))
+        assert oracle.evaluate(scan("s")) == Counter({("a",): 1})

@@ -1,0 +1,99 @@
+"""Tests for workload statistics collection and catalog derivation."""
+
+import pytest
+
+from repro import Arrival, Schema, Tick, WorkloadError
+from repro.core.stats import StatisticsCollector
+from repro.workloads import TrafficConfig, TrafficTraceGenerator, TRAFFIC_SCHEMA
+
+AB = Schema(["a", "b"])
+
+
+def collector():
+    return StatisticsCollector({"s": AB})
+
+
+class TestCollection:
+    def test_rate(self):
+        c = collector()
+        for ts in range(11):  # 11 arrivals over 10 time units
+            c.observe(Arrival(ts, "s", (1, 2)))
+        assert c.rate("s") == pytest.approx(1.1)
+
+    def test_rate_unknown_stream(self):
+        with pytest.raises(WorkloadError):
+            collector().rate("ghost")
+
+    def test_rate_without_span(self):
+        c = collector()
+        c.observe(Arrival(5, "s", (1, 2)))
+        assert c.rate("s") == 0.0  # a single instant has no rate
+
+    def test_distinct(self):
+        c = collector()
+        for v in (1, 1, 2, 3):
+            c.observe(Arrival(v, "s", (v, "x")))
+        assert c.distinct("s", "a") == 3
+        assert c.distinct("s", "b") == 1
+        assert c.distinct("s", "zzz") == 0
+
+    def test_ticks_extend_span_without_counting(self):
+        c = collector()
+        c.observe(Arrival(0, "s", (1, 2)))
+        c.observe(Tick(10))
+        assert c.rate("s") == pytest.approx(0.1)
+
+    def test_undeclared_streams_ignored(self):
+        c = collector()
+        c.observe(Arrival(1, "other", (9,)))
+        assert c.distinct("s", "a") == 0
+
+    def test_selectivity_of_values(self):
+        c = collector()
+        for v in (1, 2, 3, 4):
+            c.observe(Arrival(v, "s", (v, "x")))
+        assert c.selectivity_of_values("s", "a", lambda v: v <= 2) == 0.5
+
+    def test_selectivity_without_data_defaults(self):
+        assert collector().selectivity_of_values(
+            "s", "a", lambda v: True) == 0.5
+
+    def test_top_values(self):
+        c = collector()
+        for v in (1, 1, 1, 2):
+            c.observe(Arrival(v, "s", (v, "x")))
+        assert c.top_values("s", "a", 1) == [(1, 3)]
+
+
+class TestCatalogDerivation:
+    def test_catalog_distincts(self):
+        c = collector()
+        for v in (1, 2):
+            c.observe(Arrival(v, "s", (v, "x")))
+        catalog = c.catalog()
+        assert catalog.distinct("s", "a") == 2.0
+        assert catalog.distinct("s", "b") == 1.0
+
+    def test_traffic_sample_matches_generator_estimates(self):
+        gen = TrafficTraceGenerator(TrafficConfig(n_links=2, n_src_ips=50,
+                                                  seed=3))
+        schemas = {f"link{i}": TRAFFIC_SCHEMA for i in range(2)}
+        stats = StatisticsCollector(schemas).observe_many(gen.events(4000))
+        # Rates: ~1 tuple per link per time unit.
+        assert 0.8 < stats.rate("link0") < 1.25
+        # The sample sees (nearly) the whole IP pool.
+        assert stats.distinct("link0", "src_ip") >= 45
+        # ftp rarity matches the configured protocol mix.
+        ftp_share = stats.selectivity_of_values("link0", "protocol",
+                                                lambda p: p == "ftp")
+        assert 0.01 < ftp_share < 0.08
+
+    def test_end_to_end_with_optimizer(self):
+        from repro.core.optimizer import Optimizer
+        from repro.workloads import query5_pushdown
+        gen = TrafficTraceGenerator(TrafficConfig(seed=4))
+        schemas = {f"link{i}": TRAFFIC_SCHEMA for i in range(4)}
+        stats = StatisticsCollector(schemas).observe_many(gen.events(2000))
+        optimizer = Optimizer(stats.catalog())
+        best = optimizer.optimize(query5_pushdown(gen, 100))
+        assert best.total_cost > 0

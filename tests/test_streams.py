@@ -1,0 +1,91 @@
+"""Tests for stream declarations, windows, events and merging."""
+
+import pytest
+
+from repro import (
+    Arrival,
+    CountWindow,
+    RelationUpdate,
+    Schema,
+    StreamDef,
+    Tick,
+    TimeWindow,
+    WorkloadError,
+    arrivals,
+    merge_streams,
+)
+
+
+class TestWindows:
+    def test_time_window_expiry(self):
+        assert TimeWindow(10).expiry_of(5) == 15
+
+    def test_time_window_span(self):
+        assert TimeWindow(10).span == 10
+
+    def test_time_window_rejects_nonpositive(self):
+        with pytest.raises(WorkloadError):
+            TimeWindow(0)
+        with pytest.raises(WorkloadError):
+            TimeWindow(-1)
+
+    def test_count_window_expiry_in_sequence_domain(self):
+        assert CountWindow(5).expiry_of(3) == 8
+
+    def test_count_window_rejects_nonpositive(self):
+        with pytest.raises(WorkloadError):
+            CountWindow(0)
+
+
+class TestEvents:
+    def test_arrival_freezes_values(self):
+        a = Arrival(1, "s", [1, 2])
+        assert a.values == (1, 2)
+
+    def test_relation_update_validates_op(self):
+        RelationUpdate(1, "r", "insert", (1,))
+        RelationUpdate(1, "r", "delete", (1,))
+        with pytest.raises(WorkloadError):
+            RelationUpdate(1, "r", "upsert", (1,))
+
+    def test_tick_repr(self):
+        assert "Tick" in repr(Tick(5))
+
+    def test_arrivals_helper(self):
+        events = arrivals("s", [(1, ("a",)), (2, ("b",))])
+        assert [e.ts for e in events] == [1, 2]
+        assert all(e.stream == "s" for e in events)
+
+
+class TestMergeStreams:
+    def test_merges_by_timestamp(self):
+        a = arrivals("a", [(1, (1,)), (4, (2,))])
+        b = arrivals("b", [(2, (3,)), (3, (4,))])
+        merged = list(merge_streams(a, b))
+        assert [e.ts for e in merged] == [1, 2, 3, 4]
+
+    def test_ties_broken_by_sequence_order(self):
+        a = arrivals("a", [(1, (1,))])
+        b = arrivals("b", [(1, (2,))])
+        merged = list(merge_streams(a, b))
+        assert [e.stream for e in merged] == ["a", "b"]
+
+    def test_out_of_order_sequence_rejected(self):
+        bad = arrivals("a", [(5, (1,)), (1, (2,))])
+        with pytest.raises(WorkloadError, match="out of timestamp order"):
+            list(merge_streams(bad))
+
+    def test_empty_merge(self):
+        assert list(merge_streams()) == []
+
+
+class TestStreamDef:
+    def test_defaults(self):
+        s = StreamDef("s", Schema(["v"]))
+        assert s.window is None
+        assert s.rate == 1.0
+
+    def test_windowed(self):
+        s = StreamDef("s", Schema(["v"]), TimeWindow(7), rate=2.5)
+        assert s.window.size == 7
+        assert s.rate == 2.5
