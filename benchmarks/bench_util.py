@@ -15,19 +15,19 @@ from .common import make_generator, trace_for
 BENCH_WINDOW = 150
 
 
-def run_plan(plan, config: ExecutionConfig):
+def run_plan(plan, config: ExecutionConfig, batch: int | None = None):
     """Replay the shared trace through a freshly compiled query."""
     query = ContinuousQuery(plan, config)
-    return query.run(iter(trace_for(BENCH_WINDOW)))
+    return query.run(iter(trace_for(BENCH_WINDOW)), batch=batch)
 
 
 def bench(benchmark, plan_factory, config: ExecutionConfig,
-          window: float = BENCH_WINDOW):
+          window: float = BENCH_WINDOW, batch: int | None = None):
     """Register one pedantic single-round benchmark and sanity-check it."""
     gen = make_generator()
 
     def target():
-        return run_plan(plan_factory(gen, window), config)
+        return run_plan(plan_factory(gen, window), config, batch=batch)
 
     result = benchmark.pedantic(target, rounds=3, iterations=1)
     assert result.events_processed > 0

@@ -81,10 +81,14 @@ class Measurement:
 
 def run_once(plan: LogicalNode, events: list,
              config: ExecutionConfig, label: str,
-             window: float) -> Measurement:
-    """Compile and run one strategy over one trace."""
+             window: float, batch: int | None = None) -> Measurement:
+    """Compile and run one strategy over one trace.
+
+    ``batch=N`` runs the micro-batch execution path (identical outputs,
+    amortized expiration scheduling — see ``Executor.run``).
+    """
     query = ContinuousQuery(plan, config)
-    result = query.run(iter(events))
+    result = query.run(iter(events), batch=batch)
     return Measurement(
         label=label,
         window=window,

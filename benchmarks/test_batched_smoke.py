@@ -1,0 +1,44 @@
+"""Tiny-trace smoke test for the micro-batch path (no benchmark fixture).
+
+A fast sanity check that ``batch=N`` runs end to end on the benchmark
+workload and agrees with per-tuple execution on the answer — the full
+equivalence matrix lives in ``test_batched_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ContinuousQuery, ExecutionConfig, Mode
+from repro.workloads import TrafficConfig, TrafficTraceGenerator, query1
+
+SMOKE_TRAFFIC = TrafficConfig(n_links=4, n_src_ips=40, seed=7)
+WINDOW = 20
+N_EVENTS = 200
+
+
+def _events():
+    return list(TrafficTraceGenerator(SMOKE_TRAFFIC).events(N_EVENTS))
+
+
+@pytest.mark.parametrize("batch", [None, 1, 4, 64, 10_000])
+def test_smoke(batch):
+    gen = TrafficTraceGenerator(SMOKE_TRAFFIC)
+    plan = query1(gen, WINDOW, "ftp")
+    query = ContinuousQuery(plan, ExecutionConfig(mode=Mode.UPA))
+    result = query.run(iter(_events()), batch=batch)
+    assert result.events_processed == N_EVENTS
+    assert result.tuples_arrived == N_EVENTS
+    assert result.answer() is not None
+
+
+def test_smoke_batched_answer_matches_per_tuple():
+    events = _events()
+    answers = []
+    for batch in (None, 16):
+        gen = TrafficTraceGenerator(SMOKE_TRAFFIC)
+        plan = query1(gen, WINDOW, "ftp")
+        query = ContinuousQuery(plan, ExecutionConfig(mode=Mode.UPA))
+        query.run(iter(events), batch=batch)
+        answers.append(query.answer())
+    assert answers[0] == answers[1]

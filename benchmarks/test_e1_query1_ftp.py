@@ -13,3 +13,11 @@ from .bench_util import bench
 def test_query1_ftp(benchmark, mode):
     bench(benchmark, lambda gen, w: query1(gen, w, "ftp"),
           ExecutionConfig(mode=mode))
+
+
+@pytest.mark.parametrize("mode", [Mode.NT, Mode.DIRECT, Mode.UPA],
+                         ids=lambda m: m.value)
+def test_query1_ftp_batched(benchmark, mode):
+    """Same workload through the micro-batch path (batch=64)."""
+    bench(benchmark, lambda gen, w: query1(gen, w, "ftp"),
+          ExecutionConfig(mode=mode), batch=64)

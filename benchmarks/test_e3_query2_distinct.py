@@ -20,3 +20,11 @@ def test_query2_distinct_src(benchmark, mode):
 def test_query2_distinct_pairs(benchmark, mode):
     bench(benchmark, lambda gen, w: query2(gen, w, pairs=True),
           ExecutionConfig(mode=mode))
+
+
+@pytest.mark.parametrize("mode", [Mode.NT, Mode.DIRECT, Mode.UPA],
+                         ids=lambda m: m.value)
+def test_query2_distinct_src_batched(benchmark, mode):
+    """Same workload through the micro-batch path (batch=64)."""
+    bench(benchmark, lambda gen, w: query2(gen, w, pairs=False),
+          ExecutionConfig(mode=mode), batch=64)

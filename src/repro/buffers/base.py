@@ -27,6 +27,7 @@ experiments can report deterministic *state touches*.
 from __future__ import annotations
 
 import abc
+import math
 from typing import Callable, Hashable, Iterable, Iterator
 
 from ..core.metrics import Counters, NULL_COUNTERS
@@ -53,6 +54,34 @@ class StateBuffer(abc.ABC):
     @abc.abstractmethod
     def insert(self, t: Tuple) -> None:
         """Store a live tuple."""
+
+    def insert_many(self, tuples: Iterable[Tuple]) -> None:
+        """Bulk insertion fast path used by the micro-batch executor.
+
+        Semantically identical to inserting each tuple in order, including
+        the counter charges; subclasses override to hoist per-call overhead
+        (FIFO appends a whole slice; the hash table resolves each bucket
+        once per key run).
+        """
+        insert = self.insert
+        for t in tuples:
+            insert(t)
+
+    def next_expiry(self, now: float) -> float:
+        """The smallest ``exp`` strictly greater than ``now`` among stored
+        tuples (``math.inf`` when none) — the buffer's next expiration
+        boundary.
+
+        Used by the batched executor for scheduling; not charged as touches
+        (it is engine overhead, not strategy state maintenance).  The
+        default scans; order-aware buffers override with O(1)/O(partitions)
+        implementations.
+        """
+        boundary = math.inf
+        for t in self:
+            if now < t.exp < boundary:
+                boundary = t.exp
+        return boundary
 
     @abc.abstractmethod
     def delete(self, t: Tuple) -> bool:

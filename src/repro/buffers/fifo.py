@@ -45,6 +45,36 @@ class FifoBuffer(StateBuffer):
         if self._key_of is not None:
             self._index.setdefault(self._key(t), deque()).append(t)
 
+    def insert_many(self, tuples) -> None:
+        """Bulk append: one WKS-order validation pass, a single extend."""
+        tuples = list(tuples)
+        if not tuples:
+            return
+        queue = self._queue
+        tail = queue[-1].exp if queue else float("-inf")
+        for t in tuples:
+            if t.exp < tail:
+                raise ExecutionError(
+                    f"non-FIFO insertion into FifoBuffer: exp {t.exp} < tail "
+                    f"exp {tail}; the input is not WKS"
+                )
+            tail = t.exp
+        queue.extend(tuples)
+        self.counters.inserts += len(tuples)
+        self.counters.touches += len(tuples)
+        if self._key_of is not None:
+            index = self._index
+            key_of = self._key_of
+            for t in tuples:
+                index.setdefault(key_of(t), deque()).append(t)
+
+    def next_expiry(self, now: float) -> float:
+        """O(1) in steady state: the head expires first (WKS order)."""
+        for t in self._queue:
+            if t.exp > now:
+                return t.exp
+        return float("inf")
+
     def delete(self, t: Tuple) -> bool:
         # Rarely needed for WKS state; pay the scan when it happens.
         for i, stored in enumerate(self._queue):

@@ -37,6 +37,19 @@ class HashBuffer(StateBuffer):
         self.counters.inserts += 1
         self.counters.touches += 1
 
+    def insert_many(self, tuples) -> None:
+        """Bulk insertion with dict and key-function lookups hoisted."""
+        tuples = list(tuples)
+        if not tuples:
+            return
+        setdefault = self._buckets.setdefault
+        key_of = self._key_of
+        for t in tuples:
+            setdefault(key_of(t), []).append(t)
+        self._size += len(tuples)
+        self.counters.inserts += len(tuples)
+        self.counters.touches += len(tuples)
+
     def delete(self, t: Tuple) -> bool:
         key = self._key(t)
         bucket = self._buckets.get(key)

@@ -37,6 +37,20 @@ class ListBuffer(StateBuffer):
         if self._key_of is not None:
             self._index.setdefault(self._key(t), []).append(t)
 
+    def insert_many(self, tuples) -> None:
+        """Bulk append: one extend, counters charged in bulk."""
+        tuples = list(tuples)
+        if not tuples:
+            return
+        self._items.extend(tuples)
+        self.counters.inserts += len(tuples)
+        self.counters.touches += len(tuples)
+        if self._key_of is not None:
+            index = self._index
+            key_of = self._key_of
+            for t in tuples:
+                index.setdefault(key_of(t), []).append(t)
+
     def delete(self, t: Tuple) -> bool:
         for i, stored in enumerate(self._items):
             self.counters.touches += 1

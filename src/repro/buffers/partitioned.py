@@ -79,6 +79,60 @@ class PartitionedBuffer(StateBuffer):
         if self._key_of is not None:
             self._index.setdefault(self._key(t), []).append(t)
 
+    def insert_many(self, tuples) -> None:
+        """Bulk insertion with slot resolution and counters hoisted.
+
+        Consecutive arrivals usually land in the same (newest) partition and
+        in expiration order, so the common case is a run of cheap appends;
+        out-of-order stragglers fall back to the bisected insert exactly as
+        the scalar path does (identical touch charges either way).
+        """
+        tuples = list(tuples)
+        if not tuples:
+            return
+        partitions = self._partitions
+        slot_of = self._slot
+        counters = self.counters
+        key_of = self._key_of
+        index = self._index
+        appended = 0
+        for t in tuples:
+            exp = t.exp
+            if exp == math.inf:
+                raise ExecutionError(
+                    "PartitionedBuffer requires finite expiration timestamps"
+                )
+            part = partitions[slot_of(exp)]
+            if not part or exp >= part[-1].exp:
+                part.append(t)
+                appended += 1
+            else:
+                insort(part, t, key=_exp_of)
+                counters.touches += max(1, int(math.log2(len(part))) + 1)
+            if key_of is not None:
+                index.setdefault(key_of(t), []).append(t)
+        self._size += len(tuples)
+        counters.inserts += len(tuples)
+        counters.touches += appended
+
+    def next_expiry(self, now: float) -> float:
+        """O(partitions · log n): the earliest live head across partitions
+        (each partition is exp-sorted, Figure 7)."""
+        boundary = math.inf
+        for part in self._partitions:
+            if not part or part[-1].exp <= now:
+                continue
+            if part[0].exp > now:
+                head = part[0].exp
+            else:
+                i = bisect_left(part, now, key=_exp_of)
+                while i < len(part) and part[i].exp <= now:
+                    i += 1
+                head = part[i].exp
+            if head < boundary:
+                boundary = head
+        return boundary
+
     def delete(self, t: Tuple) -> bool:
         """Premature deletion: bisect inside the single partition that the
         deleted tuple's ``exp`` selects."""

@@ -56,12 +56,12 @@ def _cmd_run(args) -> int:
         print(query.explain())
         print()
     events = read_trace(args.trace)
-    result = query.run(events)
+    result = query.run(events, batch=args.batch)
     answer: Multiset = result.answer()
-    print(f"processed {result.events_processed} events in "
-          f"{result.elapsed:.3f}s "
+    print(f"processed {result.events_processed} events "
+          f"({result.tuples_arrived} tuples) in {result.elapsed:.3f}s "
           f"({result.time_per_1000()*1000:.2f} ms / 1000 tuples, "
-          f"{result.touches_per_event():.1f} state touches / event)")
+          f"{result.touches_per_tuple():.1f} state touches / tuple)")
     print(f"{sum(answer.values())} live result tuple(s), "
           f"{len(answer)} distinct")
     shown = answer.most_common(args.top) if args.top else answer.items()
@@ -130,6 +130,10 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("--partitions", type=int, default=10)
     run.add_argument("--str-storage", default="auto",
                      choices=["auto", "partitioned", "negative"])
+    run.add_argument("--batch", type=int, default=None, metavar="N",
+                     help="micro-batch size for amortized expiration "
+                          "(default: per-tuple processing; outputs are "
+                          "identical either way)")
     run.add_argument("--top", type=int, default=20,
                      help="show only the N most frequent results (0 = all)")
     run.add_argument("--explain", action="store_true",

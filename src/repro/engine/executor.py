@@ -1,4 +1,4 @@
-"""Tuple-at-a-time continuous query executor.
+"""Tuple-at-a-time and micro-batch continuous query executor.
 
 Section 2's processing model: "Each new tuple is processed immediately by
 all the operators in the query before the next tuple is processed.
@@ -12,13 +12,40 @@ state (default: 5% of the largest window, the paper's default).
 Pure time advancement without arrivals is modelled with Tick events — the
 paper's observation that "the aggregate value changes as a result of
 expiration from the input" even when nothing arrives.
+
+Micro-batch execution (``run(events, batch=N)``) amortizes the per-event
+overhead — the bottom-up expiration pass, the result-view purge, and the
+per-tuple propagation walk — over groups of ``N`` consecutive events while
+producing *byte-identical* output streams, view snapshots, and expiration
+counters.  The exactness argument (see DESIGN.md):
+
+* The per-tuple expiration pass at clock ``n`` emits output only when some
+  eagerly-maintained tuple has ``exp <= n`` that was not yet expired; all
+  other passes are no-ops.  The batched path therefore tracks a conservative
+  *expiration boundary* — the minimum ``exp`` over all eager operator state,
+  lowered further by every tuple that flows during the batch (any flowing
+  tuple may be absorbed into eager state) — and runs a full expiration pass,
+  at exactly the per-tuple triggering clock, whenever an event's clock
+  reaches the boundary.  Passes skipped between boundary crossings are
+  provably no-ops, so the emitted streams are identical event for event.
+* The result view's timestamp purge produces no output and answer snapshots
+  filter by liveness, so the view is purged once per batch (and at every
+  expiration pass) instead of per event; the ``expirations`` counter
+  equalizes at every batch boundary because both schedules have purged
+  exactly the results with ``exp <= clock``.
+* Lazy-purge scheduling is a pure function of event clocks, so the batched
+  path replays the per-event decisions verbatim; purge timing is unchanged.
+
+Only the *touches*/*probes* counters may differ between the two paths — the
+amortization is precisely the removal of that redundant per-event work.
 """
 
 from __future__ import annotations
 
 import math
 import time
-from typing import Callable, Iterable
+from itertools import islice
+from typing import Callable, Iterable, Sequence
 
 from ..core.tuples import Tuple
 from ..errors import ExecutionError
@@ -26,18 +53,28 @@ from ..streams.relation import NRR
 from ..streams.stream import Arrival, Event, RelationUpdate, Tick
 from .strategies import CompiledQuery
 from ..operators.base import PhysicalOperator
+from ..operators.stateless import WindowOp
 
 
 class RunResult:
-    """Outcome of a run: the view, counters, and elapsed wall time."""
+    """Outcome of a run: the view, counters, and elapsed wall time.
+
+    ``events_processed`` counts *all* engine events (arrivals, relation
+    updates and ticks) and is kept for diagnostics; ``tuples_arrived``
+    counts stream arrivals only, which is the denominator of the paper's
+    per-1000-*tuples* metric (Section 6.1 reports execution time per 1000
+    tuples, not per 1000 timeline events).
+    """
 
     def __init__(self, executor: "Executor", elapsed: float,
-                 events_processed: int):
+                 events_processed: int, tuples_arrived: int | None = None):
         self.executor = executor
         self.view = executor.compiled.view
         self.counters = executor.compiled.counters
         self.elapsed = elapsed
         self.events_processed = events_processed
+        self.tuples_arrived = (tuples_arrived if tuples_arrived is not None
+                               else executor.tuples_arrived)
 
     def answer(self):
         """The live result multiset Q(now) at the end of the run."""
@@ -48,19 +85,32 @@ class RunResult:
         return self.counters.touches
 
     def time_per_1000(self) -> float:
-        """Average execution time per 1000 events — the paper's metric."""
-        if not self.events_processed:
+        """Average execution time per 1000 stream *tuples* — the paper's
+        metric.  Tick and RelationUpdate events drive the run but are not
+        tuples, so they do not inflate the denominator."""
+        if not self.tuples_arrived:
             return 0.0
-        return 1000.0 * self.elapsed / self.events_processed
+        return 1000.0 * self.elapsed / self.tuples_arrived
+
+    def touches_per_tuple(self) -> float:
+        """Deterministic state touches per stream tuple (same denominator
+        as :meth:`time_per_1000`)."""
+        if not self.tuples_arrived:
+            return 0.0
+        return self.counters.touches / self.tuples_arrived
 
     def touches_per_event(self) -> float:
-        if not self.events_processed:
-            return 0.0
-        return self.counters.touches / self.events_processed
+        """Backwards-compatible alias for :meth:`touches_per_tuple`.
+
+        Historical name; the denominator was corrected to count stream
+        arrivals rather than all timeline events.
+        """
+        return self.touches_per_tuple()
 
     def __repr__(self) -> str:
         return (
             f"RunResult(events={self.events_processed}, "
+            f"tuples={self.tuples_arrived}, "
             f"elapsed={self.elapsed:.3f}s, touches={self.touches})"
         )
 
@@ -74,7 +124,14 @@ class Executor:
         self._seq: dict[str, int] = {}
         self._last_purge: float | None = None
         self._events_processed = 0
+        self._tuples_arrived = 0
         self._subscribers: list = []
+        #: Conservative lower bound on the next eager expiration; only
+        #: maintained inside :meth:`process_batch` (the per-tuple path runs
+        #: an expiration pass before every event and needs no boundary).
+        self._next_expiry: float = -math.inf
+        #: stream name -> fused dispatch plans (see _fused_routes_for).
+        self._fused_routes: dict[str, list] = {}
         span = compiled.max_span
         interval = compiled.config.lazy_interval
         if interval is None and span is not None:
@@ -83,17 +140,42 @@ class Executor:
 
     # -- public API ------------------------------------------------------------
 
+    @property
+    def tuples_arrived(self) -> int:
+        """Stream arrivals processed so far (the per-1000-tuples denominator)."""
+        return self._tuples_arrived
+
     def run(self, events: Iterable[Event],
-            on_event: Callable[["Executor", Event], None] | None = None
-            ) -> RunResult:
-        """Process every event; optionally call ``on_event`` after each one."""
+            on_event: Callable[["Executor", Event], None] | None = None,
+            batch: int | None = None) -> RunResult:
+        """Process every event; optionally call ``on_event`` after each one.
+
+        ``batch=N`` (N > 1) selects the micro-batch path: events are grouped
+        into runs of at most ``N`` and each run shares one amortized
+        expiration schedule (see the module docstring for the exactness
+        argument).  ``batch=None`` or ``1`` is the paper's tuple-at-a-time
+        model.  Both paths produce identical output streams, snapshots and
+        expiration counters.
+        """
         start = time.perf_counter()
-        for event in events:
-            self.process_event(event)
-            if on_event is not None:
-                on_event(self, event)
+        if batch is None or batch <= 1:
+            for event in events:
+                self.process_event(event)
+                if on_event is not None:
+                    on_event(self, event)
+        else:
+            iterator = iter(events)
+            while True:
+                chunk = list(islice(iterator, batch))
+                if not chunk:
+                    break
+                self.process_batch(chunk)
+                if on_event is not None:
+                    for event in chunk:
+                        on_event(self, event)
         elapsed = time.perf_counter() - start
-        return RunResult(self, elapsed, self._events_processed)
+        return RunResult(self, elapsed, self._events_processed,
+                         self._tuples_arrived)
 
     def process_event(self, event: Event) -> None:
         """Advance the clock, expire state, then dispatch one event."""
@@ -107,6 +189,7 @@ class Executor:
         self._events_processed += 1
         self._expiration_pass(now)
         if isinstance(event, Arrival):
+            self._tuples_arrived += 1
             self._dispatch_arrival(event, now)
         elif isinstance(event, RelationUpdate):
             self._dispatch_relation_update(event, now)
@@ -115,6 +198,129 @@ class Executor:
         else:  # pragma: no cover - event model is closed
             raise ExecutionError(f"unknown event type {type(event).__name__}")
         self._maybe_lazy_purge(now)
+
+    def process_batch(self, events: Sequence[Event]) -> None:
+        """Process a micro-batch of events with one amortized expiration
+        schedule.
+
+        The batch is implicitly split at every expiration boundary: an
+        expiration pass runs — at the clock of the event that crosses the
+        boundary, exactly as in tuple-at-a-time mode — whenever an event's
+        clock reaches the tracked minimum ``exp`` of eager state or of any
+        tuple that flowed earlier in the batch.  Lazy-purge decisions are
+        replayed per event, and the result view is purged once at the end of
+        the batch.
+        """
+        if not events:
+            return
+        # The loop below is the hot path of the batched mode; every self-
+        # attribute it needs is hoisted into a local, the clock computation
+        # is inlined for the (common) time domain, and arrival dispatch is
+        # inlined rather than going through _dispatch_arrival.  Decisions —
+        # clock advancement, boundary checks, lazy-purge scheduling — are
+        # still made per event, in the per-tuple order.
+        compiled = self.compiled
+        time_domain = compiled.time_domain != "count"
+        counters = compiled.counters
+        view = compiled.view
+        subscribers = self._subscribers
+        propagate = self._propagate_tracked
+        propagate_route = self._propagate_route
+        clock_for = self._clock_for
+        expiration_pass = self._expiration_pass
+        compute_next_expiry = self._compute_next_expiry
+        lazy_check = (self._lazy_interval is not None
+                      and bool(compiled.lazy_ops))
+        maybe_lazy_purge = self._maybe_lazy_purge
+        fused_routes = self._fused_routes
+        fused_routes_for = self._fused_routes_for
+        events_processed = self._events_processed
+        tuples_arrived = self._tuples_arrived
+        self._next_expiry = compute_next_expiry()
+        try:
+            for event in events:
+                now = event.ts if time_domain else clock_for(event)
+                if now < self.now:
+                    raise ExecutionError(
+                        f"out-of-order event: ts {now} after clock "
+                        f"{self.now} (the model assumes non-decreasing "
+                        "timestamps, Section 2)"
+                    )
+                self.now = now
+                events_processed += 1
+                if now >= self._next_expiry:
+                    # Boundary crossed: run the full pass at this event's
+                    # clock (identical to the per-tuple trigger), then
+                    # re-anchor the boundary on the surviving eager state.
+                    expiration_pass(now)
+                    self._next_expiry = compute_next_expiry()
+                if isinstance(event, Arrival):
+                    tuples_arrived += 1
+                    plans = fused_routes.get(event.stream)
+                    if plans is None:
+                        plans = fused_routes_for(event.stream)
+                    for leaf, is_window, prefix, suffix in plans:
+                        # ``now`` is already in the stamping domain (see
+                        # _dispatch_arrival).
+                        stamped = leaf.stamp(event.values, now, now)
+                        if not is_window:  # unexpected leaf type: generic
+                            outputs = leaf.process(0, stamped, now)
+                            if outputs:
+                                propagate(leaf, outputs, now)
+                            continue
+                        # Inlined WindowOp.process for a (positive)
+                        # arrival: clock advance, one tuples_processed
+                        # charge, store insertion under NT.
+                        if now > leaf.clock:
+                            leaf.clock = now
+                        counters.tuples_processed += 1
+                        store = leaf._store
+                        if store is not None:
+                            store.insert(stamped)
+                        # The stamped tuple may enter eager state (NT
+                        # window FIFO) even if a filter drops it upstream,
+                        # so it always lowers the expiration boundary.
+                        if stamped.exp < self._next_expiry:
+                            self._next_expiry = stamped.exp
+                        t = stamped
+                        alive = True
+                        for op, kind, arg in prefix:
+                            # Inlined stateless bookkeeping (scalar_kernel
+                            # contract): clock advance + one charge.
+                            if now > op.clock:
+                                op.clock = now
+                            counters.tuples_processed += 1
+                            if kind == "filter":
+                                if not arg(t.values):
+                                    alive = False
+                                    break
+                            elif kind == "map_indices":
+                                t = t.with_values(
+                                    tuple(t.values[i] for i in arg))
+                            # "pass": forward unchanged
+                        if not alive:
+                            continue
+                        if suffix:
+                            propagate_route(suffix, [t], now)
+                        else:
+                            view.apply(t, now)
+                            for subscriber in subscribers:
+                                subscriber(t, now)
+                elif isinstance(event, RelationUpdate):
+                    self._dispatch_relation_update(event, now, tracked=True)
+                elif isinstance(event, Tick):
+                    pass
+                else:  # pragma: no cover - event model is closed
+                    raise ExecutionError(
+                        f"unknown event type {type(event).__name__}")
+                if lazy_check:
+                    maybe_lazy_purge(now)
+        finally:
+            self._events_processed = events_processed
+            self._tuples_arrived = tuples_arrived
+        # One amortized view purge per batch: timestamp purging emits no
+        # output, so only its (deterministic) timing is batched.
+        compiled.view.purge(self.now)
 
     def answer(self):
         """Current result multiset Q(now)."""
@@ -154,19 +360,41 @@ class Executor:
             self._propagate(op, outputs, now)
         self.compiled.view.purge(now)
 
-    def _dispatch_arrival(self, event: Arrival, now: float) -> None:
+    def _compute_next_expiry(self) -> float:
+        """Minimum pending ``exp`` across all eagerly-expired state.
+
+        This is the earliest clock at which a skipped expiration pass could
+        stop being a no-op.  Boundary queries are scheduling overhead, not
+        state-buffer work, so they are not charged as touches — the touch
+        metric keeps measuring the strategies' own maintenance cost.
+        """
+        now = self.now
+        boundary = math.inf
+        for op in self.compiled.expire_ops:
+            candidate = op.next_expiry(now)
+            if candidate < boundary:
+                boundary = candidate
+        return boundary
+
+    def _dispatch_arrival(self, event: Arrival, now: float,
+                          tracked: bool = False) -> None:
         leaves = self.compiled.leaf_bindings.get(event.stream)
         if not leaves:
             return  # stream not referenced by this query
+        propagate = self._propagate_tracked if tracked else self._propagate
         for leaf in leaves:
-            clock = now if self.compiled.time_domain == "count" else event.ts
-            ts = now if self.compiled.time_domain == "count" else event.ts
-            stamped = leaf.stamp(event.values, ts, clock)
+            # ``now`` already lives in the stamping domain: _clock_for
+            # returns the event timestamp for time-based plans and the
+            # count-stream sequence number for count-based ones, which is
+            # exactly the value WindowOp.stamp expects for both the tuple
+            # timestamp and the expiry clock (the stamping contract is
+            # documented on WindowOp.stamp).
+            stamped = leaf.stamp(event.values, now, now)
             outputs = leaf.process(0, stamped, now)
-            self._propagate(leaf, outputs, now)
+            propagate(leaf, outputs, now)
 
-    def _dispatch_relation_update(self, event: RelationUpdate,
-                                  now: float) -> None:
+    def _dispatch_relation_update(self, event: RelationUpdate, now: float,
+                                  tracked: bool = False) -> None:
         relation = self.compiled.relations.get(event.relation)
         if relation is None:
             raise ExecutionError(
@@ -183,37 +411,115 @@ class Executor:
             relation.insert(event.values)
         else:
             relation.delete(event.values)
+        propagate = self._propagate_tracked if tracked else self._propagate
         for op in self.compiled.relation_bindings.get(event.relation, ()):
             if event.op == RelationUpdate.INSERT:
                 outputs = op.on_relation_insert(event.values, now)
             else:
                 outputs = op.on_relation_delete(event.values, now)
-            self._propagate(op, outputs, now)
+            propagate(op, outputs, now)
 
     def _propagate(self, source: PhysicalOperator, outputs: list[Tuple],
                    now: float) -> None:
         if not outputs:
             return
         for parent, slot in self.compiled.route_of(source):
-            next_outputs: list[Tuple] = []
-            for t in outputs:
-                next_outputs.extend(parent.process(slot, t, now))
-            outputs = next_outputs
+            outputs = parent.process_batch(slot, outputs, now)
             if not outputs:
                 return
+        self._deliver(outputs, now)
+
+    def _propagate_tracked(self, source: PhysicalOperator,
+                           outputs: list[Tuple], now: float) -> None:
+        """Propagate from ``source`` with expiration-boundary tracking."""
+        if not outputs:
+            return
+        self._propagate_route(self.compiled.route_of(source), outputs, now)
+
+    def _propagate_route(self, route, outputs: list[Tuple],
+                         now: float) -> None:
+        """Push ``outputs`` along ``route`` and lower the expiration
+        boundary by every flowing tuple's ``exp``.
+
+        Any tuple an operator stores was visible to the executor as some
+        stage's input or output, so folding the minimum over all stages
+        keeps ``_next_expiry`` a sound lower bound on newly-created eager
+        state.  Negative tuples are included too — harmlessly conservative
+        (an unnecessarily low boundary only schedules a no-op pass).
+        """
+        boundary = self._next_expiry
+        for parent, slot in route:
+            for t in outputs:
+                if t.exp < boundary:
+                    boundary = t.exp
+            outputs = parent.process_batch(slot, outputs, now)
+            if not outputs:
+                self._next_expiry = boundary
+                return
+        for t in outputs:
+            if t.exp < boundary:
+                boundary = t.exp
+        self._next_expiry = boundary
+        self._deliver(outputs, now)
+
+    def _fused_routes_for(self, stream: str) -> list:
+        """Build (and cache) the fused dispatch plans for one stream.
+
+        Each plan is ``(leaf, is_window, prefix, suffix)``: ``prefix`` is
+        the maximal chain of stateless operators directly above the leaf
+        that expose a :meth:`scalar_kernel` — inlined per tuple by the
+        batched arrival loop — and ``suffix`` is the remaining route, which
+        is dispatched through the generic (tracked) propagation path.
+        Fusing only reorders *how* the same per-tuple work is expressed;
+        outputs, state transitions and counter charges are unchanged.
+        """
+        plans = []
+        for leaf in self.compiled.leaf_bindings.get(stream, ()):
+            route = list(self.compiled.route_of(leaf))
+            prefix = []
+            split = 0
+            for parent, _slot in route:
+                kernel = parent.scalar_kernel()
+                if kernel is None:
+                    break
+                prefix.append((parent, kernel[0], kernel[1]))
+                split += 1
+            plans.append((leaf, isinstance(leaf, WindowOp), prefix,
+                          route[split:]))
+        self._fused_routes[stream] = plans
+        return plans
+
+    def _deliver(self, outputs: list[Tuple], now: float) -> None:
         view = self.compiled.view
+        subscribers = self._subscribers
         for t in outputs:
             view.apply(t, now)
-            for subscriber in self._subscribers:
+            for subscriber in subscribers:
                 subscriber(t, now)
 
     def _maybe_lazy_purge(self, now: float) -> None:
-        if self._lazy_interval is None or not self.compiled.lazy_ops:
+        """Purge lazily-maintained operators on a fixed-interval schedule
+        anchored at the first event's clock.
+
+        The schedule fires at ``anchor + k * interval`` for integer ``k``:
+        the anchor is recorded on the first event (without consuming a purge
+        opportunity), and after each purge ``_last_purge`` advances along the
+        grid rather than to the triggering event's clock, so sparse traces do
+        not drift the schedule late by up to one interval per purge.
+        """
+        interval = self._lazy_interval
+        if interval is None or not self.compiled.lazy_ops:
             return
         if self._last_purge is None:
-            self._last_purge = now
-            return
-        if now - self._last_purge >= self._lazy_interval:
+            self._last_purge = now  # anchor the schedule at trace start
+        if now - self._last_purge >= interval:
             for op in self.compiled.lazy_ops:
                 op.purge(now)
-            self._last_purge = now
+            if interval > 0:
+                # Stay on the anchored grid: jump to the latest scheduled
+                # point at or before ``now`` instead of re-anchoring at
+                # ``now``.
+                self._last_purge += interval * math.floor(
+                    (now - self._last_purge) / interval)
+            else:  # degenerate non-positive interval: purge every event
+                self._last_purge = now

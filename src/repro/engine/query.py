@@ -34,10 +34,14 @@ class ContinuousQuery:
         self.executor = Executor(self.compiled)
 
     def run(self, events: Iterable[Event],
-            on_event: Callable[[Executor, Event], None] | None = None
-            ) -> RunResult:
-        """Process the events and return the run's result object."""
-        return self.executor.run(events, on_event)
+            on_event: Callable[[Executor, Event], None] | None = None,
+            batch: int | None = None) -> RunResult:
+        """Process the events and return the run's result object.
+
+        ``batch=N`` selects the micro-batch execution path (amortized
+        expiration; identical outputs — see Executor.run).
+        """
+        return self.executor.run(events, on_event, batch=batch)
 
     def answer(self):
         """Current result multiset Q(now)."""

@@ -18,6 +18,19 @@ therefore exposes three entry points:
   expired tuples around temporarily (e.g. join state, Section 2.1), trading
   memory for cheaper expiration.
 
+Two further hooks support the micro-batch execution path:
+
+* :meth:`process_batch` — a *list* of tuples arrives on one input, all
+  sharing the same clock value.  The default loops over :meth:`process`;
+  hot operators override it with a vectorized implementation that hoists
+  per-call overhead out of the loop.  Overrides must be *transparent*:
+  identical outputs, state transitions and counter charges as the loop.
+* :meth:`next_expiry` — the earliest pending expiration in this operator's
+  eagerly-maintained state, used by the batched executor to decide when a
+  skipped expiration pass would stop being a no-op.  Boundary queries are
+  scheduling overhead and charge no touches.
+
+
 Every operator maintains a *local clock* — the largest timestamp it has
 observed (Section 2.3.2) — which guards against premature expiration and is
 exposed for inspection and tests.
@@ -25,10 +38,13 @@ exposed for inspection and tests.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 from ..core.metrics import Counters, NULL_COUNTERS
 from ..core.tuples import Schema, Tuple
+
+_INF = math.inf
 
 
 class PhysicalOperator:
@@ -48,6 +64,52 @@ class PhysicalOperator:
     def process(self, input_index: int, t: Tuple, now: float) -> list[Tuple]:
         """Handle an arrival (positive or negative) on input ``input_index``."""
         raise NotImplementedError
+
+    def process_batch(self, input_index: int, tuples: Sequence[Tuple],
+                      now: float) -> list[Tuple]:
+        """Handle a list of arrivals on one input, all at clock ``now``.
+
+        Semantically identical to calling :meth:`process` per tuple in
+        order and concatenating the outputs; overrides exist purely to
+        amortize per-call overhead and must preserve outputs, state and
+        counter charges exactly.
+        """
+        out: list[Tuple] = []
+        process = self.process
+        for t in tuples:
+            out.extend(process(input_index, t, now))
+        return out
+
+    def scalar_kernel(self):
+        """Fusion hook for the batched executor's leaf fast path.
+
+        Stateless single-tuple operators may return ``(kind, arg)`` so the
+        executor can inline them into its arrival dispatch loop instead of
+        paying a ``process_batch`` call per single-tuple list:
+
+        * ``("filter", predicate)`` — keep the tuple iff
+          ``predicate(t.values)`` (selection);
+        * ``("map_indices", indices)`` — replace the values with the
+          projection at ``indices``;
+        * ``("pass", None)`` — forward unchanged (merge union).
+
+        The executor replicates this operator's exact bookkeeping (clock
+        advance, one ``tuples_processed`` charge per tuple seen) when it
+        applies the kernel, so fusion is observationally identical to the
+        un-fused path.  Stateful or clock-sensitive operators must return
+        ``None`` (the default) to stay on the generic path.
+        """
+        return None
+
+    def next_expiry(self, now: float) -> float:
+        """Earliest ``exp`` (> ``now``) pending in eagerly-expired state.
+
+        ``math.inf`` when nothing is scheduled (the default: operators with
+        no eager state never force an expiration pass).  May be
+        conservative (too early) but never late: the batched executor runs
+        an expiration pass no later than this clock.
+        """
+        return _INF
 
     def expire(self, now: float) -> list[Tuple]:
         """Detect own expired state; return any resulting output tuples.
@@ -85,14 +147,11 @@ def propagate(operators: Sequence[tuple[PhysicalOperator, int]],
               outputs: list[Tuple], now: float) -> list[Tuple]:
     """Push ``outputs`` through a chain of (operator, input_index) pairs.
 
-    Used by the executor to route an event from the operator that produced it
-    to the plan root.  Returns whatever survives at the end of the chain.
+    Used to route an event from the operator that produced it to the plan
+    root.  Returns whatever survives at the end of the chain.
     """
     for op, input_index in operators:
         if not outputs:
             return []
-        next_outputs: list[Tuple] = []
-        for t in outputs:
-            next_outputs.extend(op.process(input_index, t, now))
-        outputs = next_outputs
+        outputs = op.process_batch(input_index, outputs, now)
     return outputs

@@ -50,6 +50,34 @@ class DupElimStandardOp(PhysicalOperator):
         self.counters.results_produced += 1
         return [t]
 
+    def process_batch(self, input_index: int, tuples, now: float) -> list[Tuple]:
+        """Vectorized standard duplicate elimination (hoisted lookups)."""
+        self._advance(now)
+        counters = self.counters
+        input_insert = self._input.insert
+        output_probe = self._output.probe
+        output_insert = self._output.insert
+        out: list[Tuple] = []
+        for t in tuples:
+            counters.tuples_processed += 1
+            if t.is_negative:
+                counters.negatives_processed += 1
+                out.extend(self._handle_negative(t, now))
+                continue
+            input_insert(t)
+            if output_probe(t.values, now):
+                continue  # value already represented
+            output_insert(t)
+            counters.results_produced += 1
+            out.append(t)
+        return out
+
+    def next_expiry(self, now: float) -> float:
+        """Earliest representative expiry: only the *output* buffer drives
+        eager work (expired input tuples are invisible to liveness-filtered
+        probes until a representative needs replacing)."""
+        return self._output.next_expiry(now)
+
     def _handle_negative(self, t: Tuple, now: float) -> list[Tuple]:
         self._input.delete(t)
         # Was the deleted tuple the representative of its value?
@@ -145,6 +173,41 @@ class DupElimDeltaOp(PhysicalOperator):
         self._output.insert(t)
         self.counters.results_produced += 1
         return [t]
+
+    def process_batch(self, input_index: int, tuples, now: float) -> list[Tuple]:
+        """Vectorized δ: the probe/auxiliary bookkeeping with hoisted
+        lookups — the operator's whole hot path is this loop."""
+        self._advance(now)
+        counters = self.counters
+        probe = self._output.probe
+        insert = self._output.insert
+        aux = self._aux
+        out: list[Tuple] = []
+        counters.tuples_processed += len(tuples)
+        for t in tuples:
+            if t.is_negative:
+                counters.negatives_processed += 1
+                raise ExecutionError(
+                    "the δ duplicate-elimination operator cannot process "
+                    "negative tuples; its input must be WKS or WK "
+                    "(Section 5.3.1)"
+                )
+            values = t.values
+            if probe(values, now):
+                current = aux.get(values)
+                if current is None or t.exp > current.exp:
+                    aux[values] = t
+                counters.touches += 1
+                continue
+            insert(t)
+            counters.results_produced += 1
+            out.append(t)
+        return out
+
+    def next_expiry(self, now: float) -> float:
+        """Earliest representative expiry (auxiliaries never expire eagerly:
+        they only matter at their representative's boundary)."""
+        return self._output.next_expiry(now)
 
     def expire(self, now: float) -> list[Tuple]:
         self._advance(now)

@@ -101,6 +101,11 @@ class GroupByOp(PhysicalOperator):
             touched[group] = None
         return [self._result_for(group, now) for group in touched]
 
+    def next_expiry(self, now: float) -> float:
+        """Earliest input expiry: every expired input changes its group's
+        aggregate, so group-by's boundary is its input buffer's head."""
+        return self._input.next_expiry(now)
+
     def state_size(self) -> int:
         return len(self._input)
 

@@ -124,6 +124,23 @@ class NegationOp(PhysicalOperator):
                 break
         return out
 
+    def next_expiry(self, now: float) -> float:
+        """Earliest pending expiry on either side (self-managed mode only).
+
+        Heap heads may be stale entries for tuples already deleted by
+        negatives; their ``exp`` values are still sound *lower* bounds, so
+        the batched executor at worst schedules a no-op pass that pops and
+        discards them.
+        """
+        if not self._self_expire:
+            return super().next_expiry(now)
+        boundary = super().next_expiry(now)
+        if self._heap1 and self._heap1[0][0] < boundary:
+            boundary = self._heap1[0][0]
+        if self._heap2 and self._heap2[0][0] < boundary:
+            boundary = self._heap2[0][0]
+        return boundary
+
     # -- left (W1) -------------------------------------------------------------
 
     def _arrive_left(self, value: Any, t: Tuple, now: float) -> list[Tuple]:

@@ -113,6 +113,13 @@ class RelationJoinOp(PhysicalOperator):
             )
         return out
 
+    def next_expiry(self, now: float) -> float:
+        """Earliest window-tuple expiry — relevant only under ``emit_all``,
+        where each expiration must be signalled with negatives on time."""
+        if not self._emit_all:
+            return super().next_expiry(now)
+        return self._buffer.next_expiry(now)
+
     def purge(self, now: float) -> None:
         self._advance(now)
         if not self._emit_all:

@@ -39,6 +39,21 @@ class SelectOp(PhysicalOperator):
         self._count(t)
         return [t] if self._predicate(t.values) else []
 
+    def process_batch(self, input_index: int, tuples, now: float) -> list[Tuple]:
+        """Vectorized filter: one advance, bulk counting, hoisted predicate."""
+        self._advance(now)
+        counters = self.counters
+        counters.tuples_processed += len(tuples)
+        predicate = self._predicate
+        out = [t for t in tuples if predicate(t.values)]
+        negatives = sum(1 for t in tuples if t.is_negative)
+        if negatives:
+            counters.negatives_processed += negatives
+        return out
+
+    def scalar_kernel(self):
+        return ("filter", self._predicate)
+
 
 class ProjectOp(PhysicalOperator):
     """Keep only the attributes at the given positions (bag semantics)."""
@@ -54,6 +69,21 @@ class ProjectOp(PhysicalOperator):
         values = tuple(t.values[i] for i in self._indices)
         return [t.with_values(values)]
 
+    def process_batch(self, input_index: int, tuples, now: float) -> list[Tuple]:
+        """Vectorized projection with the index tuple hoisted out of the loop."""
+        self._advance(now)
+        counters = self.counters
+        counters.tuples_processed += len(tuples)
+        negatives = sum(1 for t in tuples if t.is_negative)
+        if negatives:
+            counters.negatives_processed += negatives
+        indices = self._indices
+        return [t.with_values(tuple(t.values[i] for i in indices))
+                for t in tuples]
+
+    def scalar_kernel(self):
+        return ("map_indices", self._indices)
+
 
 class UnionOp(PhysicalOperator):
     """Non-blocking merge union: forward tuples from either input.
@@ -66,6 +96,19 @@ class UnionOp(PhysicalOperator):
         self._advance(now)
         self._count(t)
         return [t]
+
+    def process_batch(self, input_index: int, tuples, now: float) -> list[Tuple]:
+        """Vectorized pass-through: one advance, bulk counting."""
+        self._advance(now)
+        counters = self.counters
+        counters.tuples_processed += len(tuples)
+        negatives = sum(1 for t in tuples if t.is_negative)
+        if negatives:
+            counters.negatives_processed += negatives
+        return list(tuples)
+
+    def scalar_kernel(self):
+        return ("pass", None)
 
 
 class WindowOp(PhysicalOperator):
@@ -118,11 +161,34 @@ class WindowOp(PhysicalOperator):
             self._store.insert(t)
         return [t]
 
+    def process_batch(self, input_index: int, tuples, now: float) -> list[Tuple]:
+        """Bulk stamp-and-store: positives are inserted via the buffer's
+        bulk fast path."""
+        self._advance(now)
+        counters = self.counters
+        counters.tuples_processed += len(tuples)
+        negatives = sum(1 for t in tuples if t.is_negative)
+        if negatives:
+            counters.negatives_processed += negatives
+        if self._store is not None:
+            if negatives:
+                self._store.insert_many(
+                    [t for t in tuples if not t.is_negative])
+            else:
+                self._store.insert_many(tuples)
+        return list(tuples)
+
     def expire(self, now: float) -> list[Tuple]:
         self._advance(now)
         if self._store is None:
             return []
         return [t.negate() for t in self._store.purge_expired(now)]
+
+    def next_expiry(self, now: float) -> float:
+        """O(1): the materialized window is a FIFO, so the head expires first."""
+        if self._store is None:
+            return super().next_expiry(now)
+        return self._store.next_expiry(now)
 
     def state_size(self) -> int:
         return len(self._store) if self._store is not None else 0
