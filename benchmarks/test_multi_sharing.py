@@ -1,0 +1,95 @@
+"""Multi-query scaling: shared vs independent QueryGroup execution.
+
+The ROADMAP's north star is many standing queries over one feed.  This
+benchmark scales an overlapping query mix to N ∈ {1, 4, 16} members and
+runs it through both regimes.  Wall-clock per 1000 arrivals and the
+deterministic state-touch totals (member residuals + shared producers) go
+into the benchmark JSON via ``extra_info``; the smoke test asserts the
+design goal — shared-mode state touches grow *sublinearly* in N because
+common subplans are maintained once, not once per query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExecutionConfig, Mode, QueryGroup
+from repro.workloads import query1, query2, query4
+
+from .common import make_generator, trace_for
+
+WINDOW = 100
+GROUP_SIZES = (1, 4, 16)
+
+#: Overlapping mix: repeated whole plans (fused outright at N >= 5) plus
+#: distinct queries that still share window scans over link0/link1.
+MIX = (
+    lambda gen, w: query1(gen, w, "ftp"),
+    lambda gen, w: query1(gen, w, "telnet"),
+    lambda gen, w: query2(gen, w),
+    lambda gen, w: query4(gen, w),
+)
+
+
+def build_group(n: int, shared: bool) -> QueryGroup:
+    gen = make_generator()
+    group = QueryGroup(shared=shared)
+    config = ExecutionConfig(mode=Mode.UPA)
+    for index in range(n):
+        factory = MIX[index % len(MIX)]
+        group.add(f"q{index}", factory(gen, WINDOW), config)
+    return group
+
+
+def run_group(n: int, shared: bool):
+    group = build_group(n, shared)
+    result = group.run(iter(trace_for(WINDOW)), batch=64)
+    return group, result
+
+
+@pytest.mark.parametrize("regime", ["shared", "independent"])
+@pytest.mark.parametrize("n", GROUP_SIZES)
+def test_group_scaling(benchmark, n, regime):
+    shared = regime == "shared"
+
+    def target():
+        return run_group(n, shared)
+
+    group, result = benchmark.pedantic(target, rounds=1, iterations=1)
+    residual = sum(result.touches().values())
+    benchmark.extra_info["n_queries"] = n
+    benchmark.extra_info["regime"] = regime
+    benchmark.extra_info["time_ms_per_1000"] = round(
+        result.time_per_1000() * 1000.0, 3)
+    benchmark.extra_info["per_query_time_ms_per_1000"] = round(
+        result.time_per_1000() * 1000.0 / n, 3)
+    benchmark.extra_info["residual_touches"] = residual
+    benchmark.extra_info["shared_touches"] = result.shared_touches()
+    benchmark.extra_info["total_touches"] = result.total_touches()
+    benchmark.extra_info["shared_producers"] = len(group.shared_producers())
+    benchmark.extra_info["shared_state_tuples"] = group.shared_state_size()
+    assert result.tuples_arrived > 0
+
+
+def test_sharing_is_sublinear_smoke():
+    """Deterministic acceptance check, independent of wall-clock noise."""
+    totals = {}
+    for n in GROUP_SIZES:
+        _, shared_result = run_group(n, shared=True)
+        _, independent_result = run_group(n, shared=False)
+        totals[n] = (shared_result.total_touches(),
+                     independent_result.total_touches())
+        # Transparency first: both regimes answer identically.
+        shared_group, _ = run_group(n, shared=True)
+        independent_group, _ = run_group(n, shared=False)
+        assert shared_group.answers() == independent_group.answers()
+    # At N=16 the fused runtime must touch strictly less state than
+    # independent execution...
+    assert totals[16][0] < totals[16][1]
+    # ... and grow sublinearly: quadrupling 4 -> 16 members costs the
+    # shared regime less than 4x (independent execution is exactly linear
+    # in the membership by construction) ...
+    assert totals[16][0] < 4 * totals[4][0]
+    # ... so the shared/independent work ratio improves as the group grows.
+    assert (totals[16][0] / totals[16][1]
+            < totals[4][0] / totals[4][1])

@@ -38,10 +38,12 @@ from .core.plan import (
     RelationJoin,
     Rename,
     Select,
+    SharedScan,
     Union,
     WindowScan,
     attr_equals,
 )
+from .core.fingerprint import fingerprint, fingerprint_all
 from .core.semantics import ReferenceEvaluator
 from .core.stats import StatisticsCollector
 from .core.tuples import NEGATIVE, NEVER, POSITIVE, Schema, Tuple
@@ -75,7 +77,8 @@ from .lang.builder import (
     variance,
 )
 from .engine.profiling import MemoryProfile, MemorySample, profile_memory
-from .engine.multi import QueryGroup
+from .engine.multi import GroupRunResult, QueryGroup
+from .engine.sharing import SharedProducer, SharedRuntime, build_shared_runtime
 from .engine.reeval import ReEvaluationQuery
 from .lang.catalog import SourceCatalog
 from .lang.compiler import QueryCompiler, compile_query
@@ -100,9 +103,12 @@ __all__ = [
     "MONOTONIC", "STR", "UpdatePattern", "WK", "WKS",
     "AggregateSpec", "DupElim", "GroupBy", "Intersect", "Join",
     "LogicalNode", "Negation", "NRRJoin", "Predicate", "PredicateBuilder",
-    "Project", "RelationJoin", "Rename", "Select", "Union", "WindowScan",
+    "Project", "RelationJoin", "Rename", "Select", "SharedScan", "Union",
+    "WindowScan",
     "attr_equals", "ReferenceEvaluator", "StatisticsCollector",
-    "ReEvaluationQuery", "QueryGroup",
+    "ReEvaluationQuery", "QueryGroup", "GroupRunResult",
+    "SharedProducer", "SharedRuntime", "build_shared_runtime",
+    "fingerprint", "fingerprint_all",
     "NEGATIVE", "NEVER", "POSITIVE", "Schema", "Tuple",
     "Executor", "RunResult", "ContinuousQuery", "run_query",
     "STR_AUTO", "STR_NEGATIVE", "STR_PARTITIONED",

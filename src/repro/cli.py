@@ -21,6 +21,7 @@ import sys
 from collections import Counter as Multiset
 
 from .core.tuples import Schema
+from .engine.multi import QueryGroup
 from .engine.query import ContinuousQuery
 from .engine.strategies import ExecutionConfig, Mode
 from .lang.catalog import SourceCatalog
@@ -70,6 +71,43 @@ def _cmd_run(args) -> int:
         print(f"  {values}{suffix}")
     if args.top and len(answer) > args.top:
         print(f"  ... ({len(answer) - args.top} more)")
+    return 0
+
+
+def _cmd_run_group(args) -> int:
+    catalog = _build_catalog(args)
+    config = ExecutionConfig(mode=Mode(args.mode),
+                             n_partitions=args.partitions,
+                             str_storage=args.str_storage)
+    group = QueryGroup(shared=not args.independent)
+    for index, text in enumerate(args.queries, start=1):
+        group.add_text(f"q{index}", text, catalog, config)
+    if args.explain:
+        print(group.explain())
+        print()
+    events = read_trace(args.trace)
+    result = group.run(events, batch=args.batch)
+    regime = "independent" if args.independent else "shared"
+    print(f"processed {result.events_processed} events "
+          f"({result.tuples_arrived} tuples) through {len(group)} "
+          f"{regime} queries in {result.elapsed:.3f}s "
+          f"({result.time_per_1000()*1000:.2f} ms / 1000 tuples)")
+    touches = result.touches()
+    if not args.independent:
+        print(f"shared state: {group.shared_state_size()} tuples, "
+              f"{result.shared_touches()} touches "
+              f"(+{sum(touches.values())} residual) across "
+              f"{len(group.shared_producers())} shared subplan(s)")
+    for name in group.names():
+        answer: Multiset = group[name].answer()
+        print(f"-- {name}: {sum(answer.values())} live result tuple(s), "
+              f"{len(answer)} distinct, {touches[name]} state touches")
+        shown = answer.most_common(args.top) if args.top else answer.items()
+        for values, count in shown:
+            suffix = f"  x{count}" if count > 1 else ""
+            print(f"  {values}{suffix}")
+        if args.top and len(answer) > args.top:
+            print(f"  ... ({len(answer) - args.top} more)")
     return 0
 
 
@@ -140,6 +178,29 @@ def main(argv: list[str] | None = None) -> int:
                      help="print the annotated plan before running")
     _add_catalog_options(run)
     run.set_defaults(func=_cmd_run)
+
+    run_group = sub.add_parser(
+        "run-group",
+        help="run several queries over one trace, sharing common subplans")
+    run_group.add_argument("queries", nargs="+", metavar="QUERY",
+                           help="query texts; named q1..qN in the report")
+    run_group.add_argument("--trace", required=True, help="TSV trace file")
+    run_group.add_argument("--independent", action="store_true",
+                           help="compile every query privately instead of "
+                                "fusing common subplans")
+    run_group.add_argument("--partitions", type=int, default=10)
+    run_group.add_argument("--str-storage", default="auto",
+                           choices=["auto", "partitioned", "negative"])
+    run_group.add_argument("--batch", type=int, default=None, metavar="N",
+                           help="micro-batch size (amortized expiration, "
+                                "once per shared subplan)")
+    run_group.add_argument("--top", type=int, default=5,
+                           help="show only the N most frequent results "
+                                "per query (0 = all)")
+    run_group.add_argument("--explain", action="store_true",
+                           help="print the fused group DAG before running")
+    _add_catalog_options(run_group)
+    run_group.set_defaults(func=_cmd_run_group)
 
     generate = sub.add_parser("generate",
                               help="write a synthetic traffic trace")

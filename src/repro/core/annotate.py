@@ -68,10 +68,25 @@ def annotate(root: LogicalNode) -> AnnotatedPlan:
     return AnnotatedPlan(root, patterns)
 
 
+def subtree_lag(root: LogicalNode) -> float | None:
+    """The uniform ``exp − ts`` offset of ``root``'s output, if one exists.
+
+    Used by the sharing planner to stamp :class:`SharedScan` nodes so that
+    the residual plan's WKS/WK decisions (the Rule 2 refinement above)
+    match the un-cut plan exactly.
+    """
+    lags: dict[int, float | None] = {}
+    for node in root.walk():
+        lags[id(node)] = _uniform_lag(node, lags)
+    return lags[id(root)]
+
+
 def _uniform_lag(node: LogicalNode,
                  lags: dict[int, float | None]) -> float | None:
     """The single ``exp − ts`` offset of every tuple this node emits, if one
     exists (None when lifetimes can vary across tuples)."""
+    if isinstance(node, plan_mod.SharedScan):
+        return node.lag
     if isinstance(node, plan_mod.WindowScan):
         window = node.stream.window
         return float("inf") if window is None else window.span

@@ -1,0 +1,151 @@
+"""Structural fingerprints of logical plan nodes.
+
+The shared multi-query runtime (``engine/sharing.py``) detects common
+subplans across the members of a :class:`~repro.engine.multi.QueryGroup`
+by giving every :class:`~repro.core.plan.LogicalNode` a *stable structural
+fingerprint*: a digest of the node's operator kind, its runtime-relevant
+parameters (schema, predicate identity, window specification, join
+attributes, aggregate specs, ...) and — recursively — the fingerprints of
+its children.  Two subtrees with equal fingerprints compile to physical
+pipelines that produce byte-identical output streams for any input trace,
+so one compiled copy can serve every query containing the subtree
+(Section 5.1: "operator state may be shared across similar queries").
+
+Design notes
+------------
+
+* Fingerprints are hex digests of a canonical token string, so they are
+  stable across processes and orderings (unlike ``hash()``), and cheap to
+  use as dictionary keys.
+* **Predicate identity** is the one place where structural equality is an
+  approximation: predicates carry opaque Python callables.  Predicates
+  built through the label-bearing helpers (e.g. :func:`attr_equals`)
+  embed the compared value in their label, so ``(label, attrs,
+  selectivity)`` identifies them; hand-built predicates that kept the
+  default ``"<predicate>"`` label are identified by the *identity* of
+  their function object instead — two queries share such a selection only
+  when they literally reuse the same :class:`Predicate` object.
+* **Shareability** is a distinct, stricter property than fingerprint
+  equality: subtrees referencing relations (R-/NRR-joins mutate shared
+  table objects on relation-update events) or count-based windows (whose
+  clock is a per-executor sequence domain) are never shared and
+  :func:`shareable` reports them as such.  They still get fingerprints —
+  useful for explain output — but the sharing planner leaves them private.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..streams.window import CountWindow, TimeWindow
+from . import plan as plan_mod
+from .plan import LogicalNode, Predicate
+
+#: Version salt: bump when the token grammar changes so stale digests can
+#: never collide with current ones.
+_VERSION = "fp1"
+
+#: Label predicates carry when nobody bothered to name them; such
+#: predicates are only structurally equal to themselves (see module notes).
+_DEFAULT_PREDICATE_LABEL = "<predicate>"
+
+
+def _predicate_token(pred: Predicate) -> str:
+    if pred.label == _DEFAULT_PREDICATE_LABEL:
+        identity = f"fn@{id(pred.fn):x}"
+    else:
+        identity = pred.label
+    return f"pred({','.join(pred.attrs)};{identity};{pred.selectivity!r})"
+
+
+def _window_token(window) -> str:
+    if window is None:
+        return "unbounded"
+    if isinstance(window, TimeWindow):
+        return f"time({window.size!r})"
+    if isinstance(window, CountWindow):
+        return f"count({window.size!r})"
+    return repr(window)  # future window kinds: repr is their identity
+
+
+def _node_token(node: LogicalNode) -> str:
+    """The node's own (child-independent) canonical token."""
+    if isinstance(node, plan_mod.WindowScan):
+        stream = node.stream
+        return (f"window({stream.name};{','.join(stream.schema.fields)};"
+                f"{_window_token(stream.window)})")
+    if isinstance(node, plan_mod.Select):
+        return f"select({_predicate_token(node.predicate)})"
+    if isinstance(node, plan_mod.Project):
+        return f"project({','.join(node.attrs)})"
+    if isinstance(node, plan_mod.Rename):
+        return f"rename({','.join(node.names)})"
+    if isinstance(node, plan_mod.Union):
+        return "union"
+    if isinstance(node, plan_mod.Intersect):
+        return "intersect"
+    if isinstance(node, plan_mod.DupElim):
+        return "dupelim"
+    if isinstance(node, plan_mod.Join):
+        return (f"join({node.left_attr}={node.right_attr};"
+                f"{node.prefixes[0]}|{node.prefixes[1]})")
+    if isinstance(node, plan_mod.GroupBy):
+        aggs = ",".join(f"{a.kind}:{a.attr}:{a.alias}"
+                        for a in node.aggregates)
+        return f"groupby({','.join(node.keys)};{aggs})"
+    if isinstance(node, plan_mod.Negation):
+        return f"negation({node.left_attr}={node.right_attr})"
+    if isinstance(node, plan_mod.NRRJoin):
+        return (f"nrrjoin({node.nrr.name};{node.left_attr}={node.rel_attr};"
+                f"{node.prefixes[0]}|{node.prefixes[1]})")
+    if isinstance(node, plan_mod.RelationJoin):
+        return (f"reljoin({node.relation.name};"
+                f"{node.left_attr}={node.rel_attr};"
+                f"{node.prefixes[0]}|{node.prefixes[1]})")
+    if isinstance(node, plan_mod.SharedScan):
+        # A shared scan *is* its source subtree, structurally.
+        return f"sharedscan({node.fingerprint})"
+    # Unknown node kinds are only ever equal to themselves: fingerprinting
+    # must never claim sharing it cannot justify.
+    return f"opaque({type(node).__name__}@{id(node):x})"
+
+
+def fingerprint_all(root: LogicalNode) -> dict[int, str]:
+    """Fingerprint of every node of ``root``'s subtree, keyed by ``id``.
+
+    Children are digested before parents (one bottom-up walk), so the cost
+    is linear in plan size.
+    """
+    digests: dict[int, str] = {}
+    for node in root.walk():  # children before parents
+        children = ",".join(digests[id(child)] for child in node.children)
+        token = f"{_VERSION}|{_node_token(node)}|[{children}]"
+        digests[id(node)] = hashlib.sha256(token.encode()).hexdigest()[:20]
+    return digests
+
+
+def fingerprint(node: LogicalNode) -> str:
+    """Stable structural fingerprint of one subtree."""
+    return fingerprint_all(node)[id(node)]
+
+
+def shareable(root: LogicalNode) -> bool:
+    """True iff the subtree may back a shared producer.
+
+    Excluded (compiled privately, never fused):
+
+    * R-/NRR-joins — relation-update events mutate the shared table object,
+      so driving the same ``Relation`` from a fused pipeline *and* private
+      pipelines would double-apply updates;
+    * count-based windows — their clock is a per-executor stream-sequence
+      domain that cannot be advanced once on behalf of several queries.
+    """
+    for node in root.walk():
+        if isinstance(node, (plan_mod.NRRJoin, plan_mod.RelationJoin)):
+            return False
+        if isinstance(node, plan_mod.SharedScan):
+            return False  # never nest sharing
+        if (isinstance(node, plan_mod.WindowScan)
+                and isinstance(node.stream.window, CountWindow)):
+            return False
+    return True

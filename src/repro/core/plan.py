@@ -466,6 +466,62 @@ class Negation(LogicalNode):
         return f"Negation({self.left_attr} = {self.right_attr})"
 
 
+class SharedScan(LogicalNode):
+    """Leaf standing in for a shared subplan's output stream.
+
+    The shared multi-query planner (:mod:`repro.engine.sharing`) replaces a
+    common subtree with a ``SharedScan`` carrying the subtree's schema,
+    output update pattern, uniform-lag value and structural fingerprint.
+    At runtime a single shared producer pipeline evaluates the subtree once
+    and fans its output stream (insertions *and* negative tuples) out to
+    every consumer's port, so the residual plan above the scan observes
+    exactly the tuple stream it would have observed had the subtree been
+    compiled privately.
+
+    ``source`` retains the original subtree: compilation consults its
+    window leaves so residual-plan decisions that depend on whole-plan
+    window geometry (maximum span, time domain) are unchanged by the cut.
+    """
+
+    def __init__(self, source: LogicalNode, pattern: UpdatePattern,
+                 fingerprint: str, lag: float | None = None,
+                 label: str = "S?"):
+        self.source = source
+        self.pattern = pattern
+        self.fingerprint = fingerprint
+        #: Uniform ``exp − ts`` offset of the subtree's output (see
+        #: ``annotate._uniform_lag``); preserved so WKS/WK decisions above
+        #: the scan match the un-cut plan exactly.
+        self.lag = lag
+        self.label = label
+
+    @property
+    def schema(self) -> Schema:
+        return self.source.schema
+
+    @property
+    def group_keys(self) -> int | None:
+        """Number of grouping keys when the shared subtree is a group-by
+        (whose replacement-keyed output needs a group view), else None."""
+        source = self.source
+        return len(source.keys) if isinstance(source, GroupBy) else None
+
+    def source_leaves(self) -> list["WindowScan"]:
+        """Window leaves of the replaced subtree (for window inspection)."""
+        return self.source.leaves()
+
+    def derive_pattern(self, child_patterns: Sequence[UpdatePattern]) -> UpdatePattern:
+        return self.pattern
+
+    def with_children(self, children: Sequence[LogicalNode]) -> "SharedScan":
+        if children:
+            raise PlanError("SharedScan takes no children")
+        return self
+
+    def describe(self) -> str:
+        return f"Shared[{self.label}]({self.source.describe()})"
+
+
 class NRRJoin(LogicalNode):
     """Join of a stream/window with a non-retroactive relation (⋈_NRR).
 

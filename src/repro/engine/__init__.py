@@ -5,6 +5,7 @@ from .multi import GroupRunResult, QueryGroup
 from .profiling import MemoryProfile, MemorySample, profile_memory
 from .reeval import ReEvalResult, ReEvaluationQuery
 from .query import ContinuousQuery, run_query
+from .sharing import SharedProducer, SharedRuntime, build_shared_runtime
 from .strategies import (
     STR_AUTO,
     STR_NEGATIVE,
@@ -28,6 +29,9 @@ __all__ = [
     "ReEvaluationQuery",
     "ContinuousQuery",
     "run_query",
+    "SharedProducer",
+    "SharedRuntime",
+    "build_shared_runtime",
     "STR_AUTO",
     "STR_NEGATIVE",
     "STR_PARTITIONED",

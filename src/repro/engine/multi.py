@@ -1,102 +1,284 @@
 """Single-pass execution of several continuous queries over one feed.
 
 Section 5.1 notes that "operator state may be shared across similar
-queries"; full state sharing is the contribution of other work the paper
-cites, but the operational baseline it presupposes — *one pass over the
-event stream driving many standing queries* — is provided here.
-:class:`QueryGroup` compiles each plan independently (possibly under
-different strategies) and dispatches every event to every member, so a
-monitoring deployment can keep dozens of materialized answers fresh while
-reading the trace once.
+queries".  :class:`QueryGroup` provides both regimes:
+
+* **Independent** (default): each plan compiles to its own pipeline and
+  every event is dispatched to every member — the operational baseline of
+  a monitoring deployment that keeps dozens of materialized answers fresh
+  while reading the trace once.
+* **Shared** (``shared=True``): structurally identical subplans across the
+  members are fingerprinted, fused into one compiled producer each, and
+  fanned out to the consumers' residual pipelines (see
+  :mod:`repro.engine.sharing`).  Ten queries over the same window then pay
+  one window — with answers byte-identical to independent execution.
+
+Sharing is planned when the group is *sealed*: the first execution or
+answer/explain access freezes the current membership and builds the fused
+runtime.  Queries added after sealing compile privately (attaching them to
+a warm producer would let them observe pre-registration window contents),
+and :meth:`QueryGroup.remove` detaches refcount-safely — producer state is
+freed only when its last consumer leaves.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Iterable, Mapping
+from itertools import islice
+from typing import Iterable, Iterator, Mapping, Sequence
 
+from ..core.metrics import Counters
 from ..core.plan import LogicalNode
-from ..streams.stream import Event
+from ..streams.stream import Arrival, Event
 from .query import ContinuousQuery
+from .sharing import SharedRuntime, build_shared_runtime
 from .strategies import ExecutionConfig
+
+
+def _chunked(events: Iterable[Event], size: int) -> Iterator[list[Event]]:
+    iterator = iter(events)
+    while True:
+        chunk = list(islice(iterator, size))
+        if not chunk:
+            return
+        yield chunk
 
 
 class QueryGroup:
     """A named set of continuous queries fed in lockstep."""
 
-    def __init__(self, queries: Mapping[str, ContinuousQuery] | None = None):
+    def __init__(self, queries: Mapping[str, ContinuousQuery] | None = None,
+                 shared: bool = False):
+        if shared and queries:
+            raise ValueError(
+                "shared groups plan sharing from logical plans; register "
+                "members with add()/add_text() instead of pre-compiled "
+                "ContinuousQuery objects")
+        self.shared = shared
         self._queries: dict[str, ContinuousQuery] = dict(queries or {})
+        #: Shared mode, pre-seal: (name, plan, config) registrations.
+        self._pending: list[tuple[str, LogicalNode,
+                                  ExecutionConfig | None]] = []
+        self._runtime: SharedRuntime | None = None
 
-    # -- composition ------------------------------------------------------------
+    # -- composition ----------------------------------------------------------
 
     def add(self, name: str, plan: LogicalNode,
-            config: ExecutionConfig | None = None) -> ContinuousQuery:
-        """Compile ``plan`` and register it under ``name``."""
-        if name in self._queries:
+            config: ExecutionConfig | None = None) -> ContinuousQuery | None:
+        """Compile ``plan`` and register it under ``name``.
+
+        In shared mode before the group is sealed, compilation is deferred
+        until sealing (the sharing planner needs the whole membership) and
+        ``None`` is returned; afterwards the compiled
+        :class:`ContinuousQuery` is available via ``group[name]``.
+        """
+        if name in self:
             raise KeyError(f"query name {name!r} already registered")
-        query = ContinuousQuery(plan, config)
-        self._queries[name] = query
-        return query
+        if not self.shared:
+            query = ContinuousQuery(plan, config)
+            self._queries[name] = query
+            return query
+        if self._runtime is None:
+            self._pending.append((name, plan, config))
+            return None
+        # Post-seal / mid-run: privately compiled member (see module doc).
+        return self._runtime.add_private(name, plan, config)
 
     def add_text(self, name: str, text: str, catalog,
-                 config: ExecutionConfig | None = None) -> ContinuousQuery:
+                 config: ExecutionConfig | None = None
+                 ) -> ContinuousQuery | None:
         """Compile query *text* against a source catalog and register it."""
         from ..lang.compiler import compile_query
 
         return self.add(name, compile_query(text, catalog), config)
 
+    def remove(self, name: str) -> None:
+        """Drop a member query.
+
+        In shared mode the member's producers are detached refcount-safely:
+        a shared subtree's state is torn down only when its *last* consumer
+        leaves, so the surviving members keep their warm windows.
+        """
+        if not self.shared:
+            del self._queries[name]
+            return
+        if self._runtime is None:
+            for index, (pending_name, _p, _c) in enumerate(self._pending):
+                if pending_name == name:
+                    del self._pending[index]
+                    return
+            raise KeyError(name)
+        self._runtime.remove(name)
+
+    def _seal(self) -> SharedRuntime:
+        """Freeze membership and build the fused runtime (shared mode)."""
+        if self._runtime is None:
+            self._runtime = build_shared_runtime(self._pending)
+            self._pending = []
+        return self._runtime
+
     def __getitem__(self, name: str) -> ContinuousQuery:
-        return self._queries[name]
+        if not self.shared:
+            return self._queries[name]
+        return self._seal().member(name).query
 
     def __contains__(self, name: str) -> bool:
-        return name in self._queries
+        if not self.shared:
+            return name in self._queries
+        if self._runtime is None:
+            return any(n == name for n, _p, _c in self._pending)
+        return name in self._runtime.names()
 
     def __len__(self) -> int:
-        return len(self._queries)
+        if not self.shared:
+            return len(self._queries)
+        if self._runtime is None:
+            return len(self._pending)
+        return len(self._runtime.names())
 
     def names(self) -> list[str]:
-        return list(self._queries)
+        """Registered query names, in insertion order."""
+        if not self.shared:
+            return list(self._queries)
+        if self._runtime is None:
+            return [n for n, _p, _c in self._pending]
+        return self._runtime.names()
 
-    # -- execution ------------------------------------------------------------------
+    # -- execution ------------------------------------------------------------
 
     def process_event(self, event: Event) -> None:
+        if self.shared:
+            self._seal().process_event(event)
+            return
         for query in self._queries.values():
             query.executor.process_event(event)
 
-    def run(self, events: Iterable[Event]) -> "GroupRunResult":
-        """One pass over ``events``, feeding every registered query."""
+    def process_batch(self, events: Sequence[Event]) -> None:
+        """Micro-batch step: amortized expiration across the whole group."""
+        if self.shared:
+            self._seal().process_batch(events)
+            return
+        for query in self._queries.values():
+            query.executor.process_batch(events)
+
+    def run(self, events: Iterable[Event],
+            batch: int | None = None) -> "GroupRunResult":
+        """One pass over ``events``, feeding every registered query.
+
+        ``batch=N`` selects the micro-batch execution path (PR 1) for both
+        shared and independent groups: expiration is amortized to batch
+        boundaries — once per shared producer in shared mode — with outputs
+        identical to per-event execution.
+        """
+        if self.shared:
+            self._seal()
         start = time.perf_counter()
         n = 0
-        for event in events:
-            self.process_event(event)
-            n += 1
+        arrivals = 0
+        if batch is None:
+            for event in events:
+                self.process_event(event)
+                n += 1
+                if isinstance(event, Arrival):
+                    arrivals += 1
+        else:
+            if batch < 1:
+                raise ValueError(f"batch size must be >= 1, got {batch}")
+            for chunk in _chunked(events, batch):
+                self.process_batch(chunk)
+                n += len(chunk)
+                arrivals += sum(
+                    1 for event in chunk if isinstance(event, Arrival))
         elapsed = time.perf_counter() - start
-        return GroupRunResult(self, elapsed, n)
+        return GroupRunResult(self, elapsed, n, arrivals)
 
     def answers(self) -> dict[str, dict]:
         """Current answer multiset of every member query."""
-        return {name: dict(query.answer())
-                for name, query in self._queries.items()}
+        return {name: dict(self[name].answer()) for name in self.names()}
+
+    # -- introspection --------------------------------------------------------
+
+    def shared_counters(self) -> Counters:
+        """Group-level shared-state counters (zero in independent mode)."""
+        if self.shared:
+            return self._seal().shared_counters()
+        return Counters()
+
+    def shared_state_size(self) -> int:
+        """Tuples held by shared producers (zero in independent mode)."""
+        if self.shared:
+            return self._seal().shared_state_size()
+        return 0
+
+    def shared_producers(self) -> list:
+        """The group's :class:`~repro.engine.sharing.SharedProducer`
+        objects (empty in independent mode)."""
+        if self.shared:
+            return self._seal().producers()
+        return []
+
+    def total_state_size(self) -> int:
+        """Shared producer state plus every member pipeline's state."""
+        members = sum(self[name].compiled.state_size()
+                      for name in self.names())
+        return members + self.shared_state_size()
+
+    def explain(self) -> str:
+        """The group's plan: fused DAG with ``shared×k`` markers in shared
+        mode, one annotated tree per member otherwise."""
+        if self.shared:
+            return self._seal().explain()
+        lines: list[str] = []
+        for name, query in self._queries.items():
+            lines.append(f"-- {name} --")
+            lines.append(query.explain())
+        return "\n".join(lines)
 
 
 class GroupRunResult:
     """Aggregate outcome of a group run."""
 
     def __init__(self, group: QueryGroup, elapsed: float,
-                 events_processed: int):
+                 events_processed: int, tuples_arrived: int = 0):
         self.group = group
         self.elapsed = elapsed
+        #: Diagnostic: total events fed, including ticks and heartbeats.
         self.events_processed = events_processed
+        #: Denominator for throughput metrics: data arrivals only.
+        self.tuples_arrived = tuples_arrived
 
     def answer(self, name: str):
         return self.group[name].answer()
 
+    def time_per_1000(self) -> float:
+        """Wall-clock seconds per 1000 *arrivals* (Section 6's reporting
+        unit).  Arrivals-based so tick/heartbeat density cannot bias
+        cross-run comparisons (events_processed stays as a diagnostic)."""
+        if self.tuples_arrived == 0:
+            return 0.0
+        return self.elapsed * 1000.0 / self.tuples_arrived
+
     def touches(self) -> dict[str, int]:
-        """Per-query deterministic state-touch totals."""
+        """Per-query deterministic state-touch totals.
+
+        In shared mode these cover the member's *residual* pipeline only;
+        shared subtree work is charged once under :meth:`shared_touches`.
+        For every fused member, independent-execution touches equal its
+        residual touches plus its producers' touches exactly.
+        """
         return {name: self.group[name].counters.touches
                 for name in self.group.names()}
+
+    def shared_touches(self) -> int:
+        """State touches charged to shared producers (once per group)."""
+        return self.group.shared_counters().touches
+
+    def total_touches(self) -> int:
+        """All deterministic state touches: member residuals + shared."""
+        return sum(self.touches().values()) + self.shared_touches()
 
     def __repr__(self) -> str:
         return (f"GroupRunResult(queries={len(self.group)}, "
                 f"events={self.events_processed}, "
+                f"arrivals={self.tuples_arrived}, "
                 f"elapsed={self.elapsed:.3f}s)")

@@ -47,6 +47,7 @@ from ..core.plan import (
     RelationJoin,
     Rename,
     Select,
+    SharedScan,
     Union,
     WindowScan,
 )
@@ -58,7 +59,8 @@ from ..operators.groupby import GroupByOp
 from ..operators.join import IntersectOp, JoinOp
 from ..operators.negation import NegationOp
 from ..operators.relation_join import NRRJoinOp, RelationJoinOp
-from ..operators.stateless import ProjectOp, SelectOp, UnionOp, WindowOp
+from ..operators.stateless import (PortOp, ProjectOp, SelectOp, UnionOp,
+                                   WindowOp)
 from ..streams.window import CountWindow, TimeWindow
 from .views import AppendView, BufferView, GroupView, ResultView
 
@@ -119,6 +121,9 @@ class CompiledQuery:
         self.ops: dict[int, PhysicalOperator] = {}  # id(logical) -> physical
         self.routes: dict[int, list[tuple[PhysicalOperator, int]]] = {}
         self.leaf_bindings: dict[str, list[WindowOp]] = {}
+        #: (SharedScan, PortOp) pairs, in plan walk order — the shared group
+        #: executor delivers producer output here.
+        self.shared_ports: list[tuple[SharedScan, PortOp]] = []
         self.relation_bindings: dict[str, list[RelationJoinOp]] = {}
         self.relations: dict[str, object] = {}  # name -> Relation | NRR
         self.expire_ops: list[PhysicalOperator] = []  # bottom-up order
@@ -222,6 +227,13 @@ def _reject_unbounded_state(root: LogicalNode,
 
 def _inspect_windows(root: LogicalNode, compiled: CompiledQuery) -> None:
     leaves = root.leaves()
+    # Shared scans hide their subtree's window leaves from walk(); fold
+    # them back in so residual-plan decisions that depend on whole-plan
+    # window geometry (max_span for partitioned buffers, the time domain)
+    # are identical to the un-cut plan's.
+    for node in root.walk():
+        if isinstance(node, SharedScan):
+            leaves = leaves + node.source_leaves()
     time_leaves = [l for l in leaves
                    if isinstance(l.stream.window, TimeWindow)]
     count_leaves = [l for l in leaves
@@ -293,6 +305,13 @@ def _build_node(node: LogicalNode, compiled: CompiledQuery,
         compiled.leaf_bindings.setdefault(node.stream.name, []).append(op)
         if materialize:
             compiled.expire_ops.append(op)
+
+    elif isinstance(node, SharedScan):
+        # Fan-in port for a shared producer's output stream; transparent
+        # (no counters, no clock) so per-query attribution matches what
+        # the residual operators alone cost under independent execution.
+        op = PortOp(node.schema, counters)
+        compiled.shared_ports.append((node, op))
 
     elif isinstance(node, Select):
         op = SelectOp(node.schema, node.predicate.fn, counters,
@@ -465,6 +484,12 @@ def _build_view(root: LogicalNode, compiled: CompiledQuery,
 
     if isinstance(root, GroupBy):
         compiled.view = GroupView(len(root.keys), counters)
+        return
+    if isinstance(root, SharedScan) and root.group_keys is not None:
+        # A whole-plan share whose subtree is a group-by: the producer
+        # replays replacement-keyed group results, so the consumer's view
+        # must be a group view too.
+        compiled.view = GroupView(root.group_keys, counters)
         return
     if pattern is MONOTONIC:
         compiled.view = AppendView(counters)

@@ -111,6 +111,28 @@ class UnionOp(PhysicalOperator):
         return ("pass", None)
 
 
+class PortOp(PhysicalOperator):
+    """Transparent fan-in leaf for a shared subplan's output stream.
+
+    A :class:`~repro.core.plan.SharedScan` compiles to a ``PortOp``: the
+    shared group executor delivers the producer's recorded output (positive
+    and negative tuples) here, and propagation continues up the consumer's
+    residual pipeline.  In independent execution no such operator exists —
+    the subtree's root feeds its parent directly — so the port charges *no*
+    counters and keeps no clock: per-query counter attribution stays equal
+    to what the residual operators alone would cost.
+    """
+
+    def process(self, input_index: int, t: Tuple, now: float) -> list[Tuple]:
+        return [t]
+
+    def process_batch(self, input_index: int, tuples, now: float) -> list[Tuple]:
+        return list(tuples)
+
+    def __repr__(self) -> str:
+        return f"PortOp(schema={list(self.schema.fields)})"
+
+
 class WindowOp(PhysicalOperator):
     """Physical leaf for a base stream bounded by a sliding window.
 

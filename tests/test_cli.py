@@ -71,6 +71,51 @@ class TestRun:
                   "--streams", "nocolon"])
 
 
+class TestRunGroup:
+    DISTINCT = "SELECT DISTINCT src_ip FROM link0 [RANGE 50]"
+
+    def test_shared_group_fuses_identical_queries(self, trace_path, capsys):
+        code = main([
+            "run-group", self.DISTINCT, self.DISTINCT,
+            "--trace", trace_path, "--links", "2", "--explain", "--top", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "shared×2" in out
+        assert "shared state:" in out
+        assert "-- q1:" in out and "-- q2:" in out
+
+    def test_independent_flag_disables_fusion(self, trace_path, capsys):
+        code = main([
+            "run-group", self.DISTINCT, self.DISTINCT,
+            "--trace", trace_path, "--links", "2", "--independent",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "independent queries" in out
+        assert "shared state:" not in out
+
+    def test_shared_and_independent_answers_agree(self, trace_path, capsys):
+        queries = [self.DISTINCT,
+                   "SELECT COUNT(*) FROM link1 [RANGE 50]"]
+        main(["run-group", *queries, "--trace", trace_path, "--links", "2",
+              "--top", "0", "--batch", "32"])
+        shared_out = capsys.readouterr().out
+        main(["run-group", *queries, "--trace", trace_path, "--links", "2",
+              "--top", "0", "--independent"])
+        independent_out = capsys.readouterr().out
+        def extract(text):
+            # Result tuples plus per-query live/distinct summaries (state
+            # touch attribution legitimately differs between the regimes).
+            lines = [line for line in text.splitlines()
+                     if line.startswith("  (")]
+            lines += [line.split(" distinct")[0] for line in text.splitlines()
+                      if line.startswith("-- q")]
+            return lines
+
+        assert extract(shared_out) == extract(independent_out)
+
+
 class TestExplain:
     def test_explain_prints_annotated_plan(self, capsys):
         code = main([

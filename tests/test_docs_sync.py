@@ -56,10 +56,20 @@ class TestReadmeQuickstart:
         namespace: dict = {}
         exec(compile(blocks[0], "README-quickstart", "exec"), namespace)
 
+    def test_multi_query_quickstart_runs(self):
+        """The shared QueryGroup snippet is self-contained and correct."""
+        blocks = [b for b in re.findall(r"```python\n(.*?)```", self.README,
+                                        re.S) if "QueryGroup" in b]
+        assert blocks, "README lost its multi-query quickstart"
+        namespace: dict = {}
+        exec(compile(blocks[0], "README-multi-query", "exec"), namespace)
+        assert "shared×" in namespace["group"].explain()
+
     def test_cli_examples_reference_real_subcommands(self):
         from repro.cli import main
         import pytest as _pytest
-        for command in ("run", "generate", "explain", "validate"):
+        for command in ("run", "generate", "explain", "validate",
+                        "run-group"):
             if f"python -m repro {command}" in self.README or True:
                 with _pytest.raises(SystemExit):
                     main([command, "--help"])

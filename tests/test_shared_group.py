@@ -1,0 +1,295 @@
+"""Shared-plan multi-query execution (QueryGroup(shared=True)).
+
+The contract under test is *transparency*: a shared group produces, for
+every member, the byte-identical output stream, answer multiset and
+state-touch decomposition that independent execution produces — across
+strategies, micro-batching, and dynamic membership changes — while
+actually collapsing common subplans into single producers.
+"""
+
+from collections import Counter as Multiset
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Arrival, ContinuousQuery, ExecutionConfig, Mode, QueryGroup
+from repro.workloads.queries import (
+    query1,
+    query2,
+    query3,
+    query4,
+    query5_pullup,
+    query5_pushdown,
+)
+from repro.workloads.traffic import TrafficConfig, TrafficTraceGenerator
+
+SETTINGS = settings(max_examples=15, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+#: The five experimental queries (E1–E5) in their tested variants.
+FACTORIES = {
+    "q1_ftp": lambda g, w: query1(g, w),
+    "q1_telnet": lambda g, w: query1(g, w, protocol="telnet"),
+    "q2": lambda g, w: query2(g, w),
+    "q2_pairs": lambda g, w: query2(g, w, pairs=True),
+    "q3": lambda g, w: query3(g, w),
+    "q4": lambda g, w: query4(g, w),
+    "q5_up": lambda g, w: query5_pullup(g, w),
+    "q5_down": lambda g, w: query5_pushdown(g, w),
+}
+#: Negation-free subset (the direct approach rejects STR plans).
+DIRECT_OK = ["q1_ftp", "q1_telnet", "q2", "q2_pairs", "q4"]
+
+
+def trace(n=400, seed=11):
+    gen = TrafficTraceGenerator(TrafficConfig(seed=seed))
+    return list(gen.events(n))
+
+
+def build_group(shared, names, mode, window=30.0, seed=11):
+    gen = TrafficTraceGenerator(TrafficConfig(seed=seed))
+    group = QueryGroup(shared=shared)
+    for index, name in enumerate(names):
+        group.add(f"m{index}_{name}", FACTORIES[name](gen, window),
+                  ExecutionConfig(mode=mode))
+    return group
+
+
+def run_both(names, mode, events, batch=None, window=30.0):
+    """Run shared and independent twins; capture their output streams."""
+    ind = build_group(False, names, mode, window)
+    sh = build_group(True, names, mode, window)
+    streams = {}
+    for group, kind in ((ind, "ind"), (sh, "sh")):
+        for member in group.names():
+            sink = streams.setdefault(kind, {}).setdefault(member, [])
+            group[member].subscribe(
+                lambda t, now, sink=sink: sink.append(
+                    (t.values, t.ts, t.exp, t.sign)))
+    ind.run(events, batch=batch)
+    sh.run(events, batch=batch)
+    return ind, sh, streams
+
+
+class TestEquivalence:
+    """shared == independent == single-query, E1–E5 × strategies."""
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_property_shared_equals_independent(self, data):
+        mode = data.draw(st.sampled_from([Mode.NT, Mode.DIRECT, Mode.UPA]))
+        pool = DIRECT_OK if mode is Mode.DIRECT else list(FACTORIES)
+        names = data.draw(st.lists(st.sampled_from(pool),
+                                   min_size=2, max_size=5))
+        batch = data.draw(st.sampled_from([None, 64]))
+        window = data.draw(st.sampled_from([15.0, 40.0]))
+        events = trace(350)
+        ind, sh, streams = run_both(names, mode, events, batch, window)
+        assert sh.answers() == ind.answers()
+        if batch is None:
+            # Per-event execution replays the exact output stream, negative
+            # tuples included.  (Batched independent execution is already
+            # pinned to per-event outputs by PR 1's equivalence tests.)
+            assert streams["sh"] == streams["ind"]
+
+    @pytest.mark.parametrize("mode", [Mode.NT, Mode.UPA])
+    def test_counter_decomposition_is_exact(self, mode):
+        """independent touches == residual touches + consumed producers'."""
+        names = ["q1_ftp", "q1_ftp", "q2", "q3", "q4", "q5_up"]
+        events = trace(400)
+        ind, sh, _ = run_both(names, mode, events)
+        runtime = sh._seal()
+        for member_name in ind.names():
+            member = runtime.member(member_name)
+            recomposed = member.query.counters.touches + sum(
+                p.counters.touches for p in member.producers)
+            assert recomposed == ind[member_name].counters.touches
+
+    def test_single_query_is_the_independent_member(self):
+        """An independent group member is literally a single standalone
+        query; pin it explicitly for one workload anyway."""
+        gen = TrafficTraceGenerator(TrafficConfig(seed=11))
+        single = ContinuousQuery(query3(gen, 30.0),
+                                 ExecutionConfig(mode=Mode.UPA))
+        events = trace(400)
+        for event in events:
+            single.executor.process_event(event)
+        _ind, sh, _ = run_both(["q3", "q3"], Mode.UPA, events)
+        for name in sh.names():
+            assert dict(sh[name].answer()) == dict(single.answer())
+
+    def test_batched_shared_equals_unbatched_shared(self):
+        events = trace(400)
+        names = ["q1_telnet", "q1_telnet", "q3", "q5_down"]
+        _, sh_plain, _ = run_both(names, Mode.NT, events, batch=None)
+        _, sh_batched, _ = run_both(names, Mode.NT, events, batch=64)
+        assert sh_plain.answers() == sh_batched.answers()
+
+
+class TestSharingActuallyShares:
+    def test_identical_plans_fuse_into_one_producer(self):
+        group = build_group(True, ["q1_ftp", "q1_ftp", "q1_ftp"], Mode.UPA)
+        producers = group.shared_producers()
+        assert len(producers) == 1
+        assert producers[0].consumers == 3
+
+    def test_window_scans_fuse_across_different_queries(self):
+        # q2 and q4 both read link0/link1; q4 and q3 share window scans.
+        group = build_group(True, ["q2", "q4", "q3"], Mode.UPA)
+        group.run(trace(100))
+        assert group.shared_producers()  # at least the link windows fused
+
+    def test_different_configs_never_fuse(self):
+        gen = TrafficTraceGenerator(TrafficConfig(seed=11))
+        group = QueryGroup(shared=True)
+        group.add("a", query2(gen, 30.0), ExecutionConfig(mode=Mode.NT))
+        group.add("b", query2(gen, 30.0), ExecutionConfig(mode=Mode.UPA))
+        group.run(trace(50))
+        assert not group.shared_producers()
+
+    def test_shared_state_is_sublinear(self):
+        events = trace(300)
+        sh4 = build_group(True, ["q1_ftp"] * 4, Mode.UPA)
+        ind4 = build_group(False, ["q1_ftp"] * 4, Mode.UPA)
+        sh4.run(events)
+        ind4.run(events)
+        shared_total = sh4.total_state_size()
+        independent_total = ind4.total_state_size()
+        assert shared_total < independent_total
+
+    def test_explain_prints_fused_dag(self):
+        group = build_group(True, ["q1_ftp", "q1_ftp", "q3"], Mode.UPA)
+        text = group.explain()
+        assert "shared×" in text
+        assert "Shared[" in text
+        assert "fused" in text
+
+    def test_count_windows_stay_private(self):
+        from repro import CountWindow, Schema, StreamDef, from_window
+
+        schema = Schema(["v"])
+        plan = from_window(StreamDef("s0", schema, CountWindow(5))).build()
+        plan2 = from_window(StreamDef("s0", schema, CountWindow(5))).build()
+        group = QueryGroup(shared=True)
+        group.add("a", plan)
+        group.add("b", plan2)
+        group.run([Arrival(float(i), "s0", (i,)) for i in range(10)])
+        assert not group.shared_producers()
+        assert group.answers()["a"] == group.answers()["b"]
+
+
+class TestDynamicMembership:
+    def test_remove_then_readd_matches_fresh_group(self):
+        """Regression (satellite c): remove + re-add before running leaves
+        answers and counters identical to a never-touched group."""
+        events = trace(300)
+        churned = build_group(True, ["q1_ftp", "q1_ftp", "q3"], Mode.UPA)
+        gen = TrafficTraceGenerator(TrafficConfig(seed=11))
+        churned.remove("m2_q3")
+        churned.add("m2_q3", query3(gen, 30.0),
+                    ExecutionConfig(mode=Mode.UPA))
+        fresh = build_group(True, ["q1_ftp", "q1_ftp", "q3"], Mode.UPA)
+        churned.run(events)
+        fresh.run(events)
+        assert churned.answers() == fresh.answers()
+        assert {n: churned[n].counters.touches for n in churned.names()} == \
+            {n: fresh[n].counters.touches for n in fresh.names()}
+        assert churned.shared_counters().touches == \
+            fresh.shared_counters().touches
+
+    def test_midrun_add_runs_privately_and_exactly(self):
+        events = trace(400)
+        group = build_group(True, ["q1_ftp", "q1_ftp"], Mode.UPA)
+        group.run(events[:200])
+        gen = TrafficTraceGenerator(TrafficConfig(seed=11))
+        group.add("late", query2(gen, 30.0), ExecutionConfig(mode=Mode.UPA))
+        group.run(events[200:])
+        gen2 = TrafficTraceGenerator(TrafficConfig(seed=11))
+        reference = ContinuousQuery(query2(gen2, 30.0),
+                                    ExecutionConfig(mode=Mode.UPA))
+        for event in events[200:]:
+            reference.executor.process_event(event)
+        assert dict(group["late"].answer()) == dict(reference.answer())
+
+    def test_midrun_remove_keeps_survivors_exact(self):
+        events = trace(400)
+        group = build_group(True, ["q1_ftp", "q1_ftp", "q2"], Mode.NT)
+        group.run(events[:200])
+        group.remove("m1_q1_ftp")
+        group.run(events[200:])
+        ind = build_group(False, ["q1_ftp", "q1_ftp", "q2"], Mode.NT)
+        ind.run(events)
+        assert dict(group["m0_q1_ftp"].answer()) == \
+            dict(ind["m0_q1_ftp"].answer())
+        assert dict(group["m2_q2"].answer()) == dict(ind["m2_q2"].answer())
+
+    def test_refcounted_teardown(self):
+        group = build_group(True, ["q1_ftp", "q1_ftp", "q1_ftp"], Mode.UPA)
+        group.run(trace(100))
+        (producer,) = group.shared_producers()
+        assert producer.consumers == 3
+        group.remove("m0_q1_ftp")
+        assert producer.consumers == 2
+        assert group.shared_producers()  # still alive: consumers remain
+        group.remove("m1_q1_ftp")
+        group.remove("m2_q1_ftp")
+        assert not group.shared_producers()  # last consumer freed the state
+
+    def test_duplicate_name_rejected_pre_and_post_seal(self):
+        gen = TrafficTraceGenerator(TrafficConfig(seed=11))
+        group = build_group(True, ["q2"], Mode.UPA)
+        with pytest.raises(KeyError):
+            group.add("m0_q2", query2(gen, 30.0))
+        group.run(trace(20))
+        with pytest.raises(KeyError):
+            group.add("m0_q2", query2(gen, 30.0))
+
+
+class TestGroupMetrics:
+    def test_time_per_1000_is_arrivals_based(self):
+        group = build_group(False, ["q2"], Mode.UPA)
+        result = group.run(trace(200))
+        assert result.tuples_arrived == 200
+        assert result.time_per_1000() == pytest.approx(
+            result.elapsed * 1000.0 / result.tuples_arrived)
+
+    def test_events_processed_still_counts_everything(self):
+        from repro import Tick
+
+        events = trace(100) + [Tick(10_000.0)]
+        group = build_group(False, ["q2"], Mode.UPA)
+        result = group.run(events)
+        assert result.events_processed == 101
+        assert result.tuples_arrived == 100
+
+    def test_total_touches_decomposes(self):
+        events = trace(200)
+        group = build_group(True, ["q1_ftp", "q1_ftp"], Mode.UPA)
+        result = group.run(events)
+        assert result.total_touches() == \
+            sum(result.touches().values()) + result.shared_touches()
+        assert result.shared_touches() > 0
+
+    def test_empty_run(self):
+        group = build_group(False, ["q2"], Mode.UPA)
+        result = group.run([])
+        assert result.time_per_1000() == 0.0
+
+    def test_batch_plumbs_through_independent_groups(self):
+        events = trace(300)
+        plain = build_group(False, ["q2", "q4"], Mode.UPA)
+        batched = build_group(False, ["q2", "q4"], Mode.UPA)
+        plain.run(events)
+        batched.run(events, batch=32)
+        assert plain.answers() == batched.answers()
+
+    def test_invalid_batch_size(self):
+        group = build_group(False, ["q2"], Mode.UPA)
+        with pytest.raises(ValueError):
+            group.run(trace(10), batch=0)
+
+    def test_shared_group_rejects_precompiled_queries(self):
+        gen = TrafficTraceGenerator(TrafficConfig(seed=11))
+        query = ContinuousQuery(query2(gen, 30.0))
+        with pytest.raises(ValueError):
+            QueryGroup({"pre": query}, shared=True)
