@@ -262,6 +262,55 @@ def e11_reeval_baseline() -> list[Measurement]:
     return results
 
 
+def e13_shard_scaling() -> list[Measurement]:
+    """Shard-scaling sweep (extension): Queries 1, 3 and 4 under UPA with
+    k key-routed shard pipelines on the forked process backend.
+
+    ``k=1`` is the unsharded baseline (the sharded path short-circuits to
+    the inline executor).  Every sharded run is asserted answer-identical
+    to its baseline — the speedup is never bought with approximation.  On
+    a single-core host the sweep degenerates into a measurement of the
+    routing + IPC overhead; the per-core speedup claim is only meaningful
+    (and only asserted, in ``benchmarks/test_e13_shard_scaling.py``) when
+    ``os.cpu_count() >= 2``.
+    """
+    import os
+
+    queries = (("Q1", lambda gen, w: query1(gen, w, "telnet")),
+               ("Q3", query3),
+               ("Q4", query4))
+    results: list[Measurement] = []
+    gen = make_generator()
+    for window in windows():
+        events = trace_for(window)
+        for tag, plan_fn in queries:
+            baseline_answer = None
+            for shards in (1, 2, 4, 8):
+                from repro import ContinuousQuery
+                query = ContinuousQuery(plan_fn(gen, window),
+                                        ExecutionConfig(mode=Mode.UPA))
+                result = query.run(iter(events), batch=64, shards=shards,
+                                   shard_backend="process")
+                if shards == 1:
+                    baseline_answer = result.answer()
+                else:
+                    assert result.answer() == baseline_answer, (
+                        f"{tag} W={window} k={shards}: sharded answer "
+                        "diverged from unsharded")
+                results.append(Measurement(
+                    label=f"{tag} k={shards}",
+                    window=window,
+                    events=result.events_processed,
+                    time_ms_per_1000=result.time_per_1000() * 1000.0,
+                    touches_per_event=result.touches_per_event(),
+                    answer_size=sum(result.answer().values()),
+                ))
+    print_table(
+        f"E13 — shard scaling (process backend, batch=64, "
+        f"{os.cpu_count()} core(s))", results)
+    return results
+
+
 EXPERIMENTS = {
     "e1": e1_query1_ftp,
     "e2": e2_query1_telnet,
@@ -274,4 +323,5 @@ EXPERIMENTS = {
     "e9": e9_lazy_interval,
     "e10": e10_memory,
     "e11": e11_reeval_baseline,
+    "e13": e13_shard_scaling,
 }

@@ -1,0 +1,82 @@
+"""E13: key-sharded parallel execution — scaling and exactness.
+
+Two layers:
+
+* **Exactness is always asserted**, on any machine: sharded answers equal
+  unsharded ones for every (query, k, backend) cell, per the equivalence
+  contract in ``tests/test_sharded.py``.
+* **The speedup claim is gated on available parallelism.**  The process
+  backend forks one worker per shard; on a single-core host the sweep
+  measures routing + IPC overhead, not scaling, so the ≥1.5× assertion at
+  k=4 only runs when ``os.cpu_count() >= 4``.  RESULTS.md records what the
+  measurement host actually showed.
+
+The full window sweep lives in ``python -m benchmarks.harness e13``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro import ContinuousQuery, ExecutionConfig, Mode
+from repro.workloads import query1, query3, query4
+
+from .bench_util import BENCH_WINDOW, run_plan
+from .common import make_generator, trace_for
+
+QUERIES = [
+    ("q1", lambda gen, w: query1(gen, w, "telnet")),
+    ("q3", query3),
+    ("q4", query4),
+]
+
+
+def _run(plan_fn, shards, backend="process", batch=64):
+    gen = make_generator()
+    query = ContinuousQuery(plan_fn(gen, BENCH_WINDOW),
+                            ExecutionConfig(mode=Mode.UPA))
+    return query.run(iter(trace_for(BENCH_WINDOW)), batch=batch,
+                     shards=shards, shard_backend=backend)
+
+
+@pytest.mark.parametrize("tag,plan_fn", QUERIES, ids=[q[0] for q in QUERIES])
+@pytest.mark.parametrize("shards", [2, 4])
+def test_sharded_answers_exact(tag, plan_fn, shards):
+    """Answer equality on the process backend — asserted on every host."""
+    base = _run(plan_fn, shards=1)
+    sharded = _run(plan_fn, shards=shards)
+    assert sharded.fallback_reason is None
+    assert sharded.shards == shards
+    assert sharded.answer() == base.answer()
+    assert sharded.tuples_arrived == base.tuples_arrived
+
+
+@pytest.mark.parametrize("tag,plan_fn", QUERIES, ids=[q[0] for q in QUERIES])
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_shard_sweep(benchmark, tag, plan_fn, shards):
+    """The scaling sweep itself (k=1 is the inline baseline)."""
+    result = benchmark.pedantic(lambda: _run(plan_fn, shards=shards),
+                                rounds=3, iterations=1)
+    assert result.events_processed > 0
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="speedup needs >= 4 cores; this host has "
+                           f"{os.cpu_count()} (exactness is still asserted "
+                           "above)")
+def test_speedup_at_k4():
+    """On a multi-core host, Query 1 (telnet, batch=64) at k=4 must beat
+    the k=1 inline baseline by >= 1.5x wall clock."""
+    plan_fn = QUERIES[0][1]
+    _run(plan_fn, shards=1)  # warm the trace cache out of the timing
+    start = time.perf_counter()
+    base = _run(plan_fn, shards=1)
+    t1 = time.perf_counter() - start
+    start = time.perf_counter()
+    sharded = _run(plan_fn, shards=4)
+    t4 = time.perf_counter() - start
+    assert sharded.answer() == base.answer()
+    assert t1 / t4 >= 1.5, f"k=4 speedup {t1 / t4:.2f}x < 1.5x"

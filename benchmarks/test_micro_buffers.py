@@ -94,3 +94,44 @@ def test_probe_throughput(benchmark, factory):
         return hits
 
     benchmark.pedantic(run, rounds=3, iterations=2)
+
+
+@pytest.mark.parametrize("factory", [
+    lambda: HashBuffer(_key),
+    lambda: PartitionedBuffer(SPAN, 10, _key),
+], ids=["hash", "partitioned"])
+def test_probe_hot_loop(benchmark, factory):
+    """The join inner loop: thousands of consecutive probes on a warm
+    buffer.  This is the path whose counter bookkeeping was hoisted out of
+    the per-tuple iteration (one ``counters`` resolution and one touch add
+    per probe rather than per examined tuple); the bulk-probe rate here is
+    the direct measure of that win."""
+    buffer = _fill(factory())
+    keys = [i % 50 for i in range(5_000)]
+
+    def run():
+        probe = buffer.probe
+        hits = 0
+        for key in keys:
+            hits += len(probe(key, now=0.0))
+        assert hits == 5_000 * (N // 50)
+        return hits
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("factory", [
+    lambda: HashBuffer(_key),
+    lambda: ListBuffer(_key),
+], ids=["hash", "list"])
+def test_live_scan_throughput(benchmark, factory):
+    """Full liveness scans (the direct approach's re-evaluation pattern)
+    through the hoisted ``live()`` iterator."""
+    buffer = _fill(factory())
+
+    def run():
+        seen = sum(1 for _ in buffer.live(now=0.0))
+        assert seen == N
+        return seen
+
+    benchmark.pedantic(run, rounds=3, iterations=2)

@@ -45,6 +45,11 @@ from .core.plan import (
 )
 from .core.fingerprint import fingerprint, fingerprint_all
 from .core.semantics import ReferenceEvaluator
+from .core.sharding import (
+    Partitionability,
+    StreamShardKey,
+    analyze_partitionability,
+)
 from .core.stats import StatisticsCollector
 from .core.tuples import NEGATIVE, NEVER, POSITIVE, Schema, Tuple
 from .engine.executor import Executor, RunResult
@@ -58,7 +63,17 @@ from .engine.strategies import (
     Mode,
     compile_plan,
 )
+from .engine.shard import (
+    ShardedExecutor,
+    ShardedGroupRunResult,
+    ShardedRunResult,
+    ShardRouter,
+    analyze_group_partitionability,
+    run_group_sharded,
+    stable_hash,
+)
 from .errors import (
+    ConfigError,
     ExecutionError,
     PlanError,
     ReproError,
@@ -113,8 +128,12 @@ __all__ = [
     "Executor", "RunResult", "ContinuousQuery", "run_query",
     "STR_AUTO", "STR_NEGATIVE", "STR_PARTITIONED",
     "CompiledQuery", "ExecutionConfig", "Mode", "compile_plan",
-    "ExecutionError", "PlanError", "ReproError", "SchemaError",
-    "WorkloadError",
+    "ConfigError", "ExecutionError", "PlanError", "ReproError",
+    "SchemaError", "WorkloadError",
+    "Partitionability", "StreamShardKey", "analyze_partitionability",
+    "ShardedExecutor", "ShardedGroupRunResult", "ShardedRunResult",
+    "ShardRouter", "analyze_group_partitionability", "run_group_sharded",
+    "stable_hash",
     "QueryBuilder", "agg_max", "agg_min", "agg_sum", "avg", "count",
     "from_window", "stddev", "variance",
     "MemoryProfile", "MemorySample", "profile_memory",

@@ -110,9 +110,16 @@ class StateBuffer(abc.ABC):
 
         Charges one touch per examined tuple: callers that scan the whole
         buffer pay for it, exactly like the paper's sequential scans.
+
+        Hot path: the counters object is resolved once instead of per
+        element (``self.counters`` is two attribute lookups per iteration
+        otherwise); charges remain per-examined-tuple and lazy, so a caller
+        that stops consuming the iterator early is charged exactly for what
+        it examined — identical to the unhoisted loop.
         """
+        counters = self.counters
         for t in self:
-            self.counters.touches += 1
+            counters.touches += 1
             if t.exp > now:
                 yield t
 
@@ -122,16 +129,21 @@ class StateBuffer(abc.ABC):
         Expired-but-unpurged tuples are skipped, implementing the paper's
         rule that lazily maintained state must not produce new results from
         expired tuples (Section 2.1).
+
+        Hot path: this runs once per probing arrival (the inner loop of
+        every join), so the counters object and the bucket are resolved
+        once, the liveness filter runs as a list comprehension, and the
+        touch charge — one per examined tuple, exactly as before — is
+        applied in a single add of the bucket length.
         """
         if self._key_of is None:
             raise ValueError("probe() requires a key function")
-        self.counters.probes += 1
+        counters = self.counters
+        counters.probes += 1
         bucket = self._bucket(key)
-        out = []
-        for t in bucket:
-            self.counters.touches += 1
-            if t.exp > now:
-                out.append(t)
+        out = [t for t in bucket if t.exp > now]
+        counters.touches += (len(bucket) if isinstance(bucket, (list, tuple))
+                             else sum(1 for _ in bucket))
         return out
 
     def probe_all(self, key: Hashable) -> list[Tuple]:
@@ -148,9 +160,10 @@ class StateBuffer(abc.ABC):
         """
         if self._key_of is None:
             raise ValueError("probe_all() requires a key function")
-        self.counters.probes += 1
+        counters = self.counters
+        counters.probes += 1
         bucket = list(self._bucket(key))
-        self.counters.touches += len(bucket)
+        counters.touches += len(bucket)
         return bucket
 
     @abc.abstractmethod

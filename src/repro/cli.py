@@ -46,6 +46,21 @@ def _build_catalog(args) -> SourceCatalog:
     return catalog
 
 
+def _report_sharding(result) -> None:
+    """One status line about sharded execution, when it was requested."""
+    shards = getattr(result, "shards", None)
+    if shards is None:
+        return  # ordinary unsharded result
+    if getattr(result, "fallback_reason", None):
+        print(f"sharding: fell back to unsharded execution — "
+              f"{result.fallback_reason}")
+    elif shards > 1:
+        balance = getattr(result, "per_shard_arrivals", None)
+        spread = (f", arrivals per shard {balance}" if balance else "")
+        print(f"sharding: {shards} shards via {result.backend} backend"
+              f"{spread}")
+
+
 def _cmd_run(args) -> int:
     catalog = _build_catalog(args)
     plan = compile_query(args.query, catalog)
@@ -57,12 +72,14 @@ def _cmd_run(args) -> int:
         print(query.explain())
         print()
     events = read_trace(args.trace)
-    result = query.run(events, batch=args.batch)
+    result = query.run(events, batch=args.batch, shards=args.shards,
+                       shard_backend=args.shard_backend)
     answer: Multiset = result.answer()
     print(f"processed {result.events_processed} events "
           f"({result.tuples_arrived} tuples) in {result.elapsed:.3f}s "
           f"({result.time_per_1000()*1000:.2f} ms / 1000 tuples, "
           f"{result.touches_per_tuple():.1f} state touches / tuple)")
+    _report_sharding(result)
     print(f"{sum(answer.values())} live result tuple(s), "
           f"{len(answer)} distinct")
     shown = answer.most_common(args.top) if args.top else answer.items()
@@ -86,12 +103,14 @@ def _cmd_run_group(args) -> int:
         print(group.explain())
         print()
     events = read_trace(args.trace)
-    result = group.run(events, batch=args.batch)
+    result = group.run(events, batch=args.batch, shards=args.shards,
+                       shard_backend=args.shard_backend)
     regime = "independent" if args.independent else "shared"
     print(f"processed {result.events_processed} events "
           f"({result.tuples_arrived} tuples) through {len(group)} "
           f"{regime} queries in {result.elapsed:.3f}s "
           f"({result.time_per_1000()*1000:.2f} ms / 1000 tuples)")
+    _report_sharding(result)
     touches = result.touches()
     if not args.independent:
         print(f"shared state: {group.shared_state_size()} tuples, "
@@ -99,7 +118,7 @@ def _cmd_run_group(args) -> int:
               f"(+{sum(touches.values())} residual) across "
               f"{len(group.shared_producers())} shared subplan(s)")
     for name in group.names():
-        answer: Multiset = group[name].answer()
+        answer: Multiset = result.answer(name)
         print(f"-- {name}: {sum(answer.values())} live result tuple(s), "
               f"{len(answer)} distinct, {touches[name]} state touches")
         shown = answer.most_common(args.top) if args.top else answer.items()
@@ -154,6 +173,16 @@ def _add_catalog_options(parser: argparse.ArgumentParser) -> None:
                         default="upa", help="execution strategy")
 
 
+def _add_shard_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--shards", type=int, default=None, metavar="K",
+                        help="run K key-routed shard pipelines in parallel "
+                             "(unshardable plans fall back with a note)")
+    parser.add_argument("--shard-backend", default="process",
+                        choices=["serial", "process"],
+                        help="in-process reference backend or forked "
+                             "worker pool (default: process)")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -177,6 +206,7 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("--explain", action="store_true",
                      help="print the annotated plan before running")
     _add_catalog_options(run)
+    _add_shard_options(run)
     run.set_defaults(func=_cmd_run)
 
     run_group = sub.add_parser(
@@ -200,6 +230,7 @@ def main(argv: list[str] | None = None) -> int:
     run_group.add_argument("--explain", action="store_true",
                            help="print the fused group DAG before running")
     _add_catalog_options(run_group)
+    _add_shard_options(run_group)
     run_group.set_defaults(func=_cmd_run_group)
 
     generate = sub.add_parser("generate",

@@ -23,6 +23,7 @@ from .plan import (
     attr_equals,
 )
 from .semantics import ReferenceEvaluator
+from .sharding import Partitionability, StreamShardKey, analyze_partitionability
 from .tuples import NEGATIVE, NEVER, POSITIVE, Schema, Tuple, join_tuples
 
 __all__ = [
@@ -53,6 +54,9 @@ __all__ = [
     "WindowScan",
     "attr_equals",
     "ReferenceEvaluator",
+    "Partitionability",
+    "StreamShardKey",
+    "analyze_partitionability",
     "NEGATIVE",
     "NEVER",
     "POSITIVE",

@@ -1,0 +1,277 @@
+"""Static partitionability analysis for key-sharded parallel execution.
+
+Every query in the paper's evaluation (Section 6.1) is keyed on ``src_ip``:
+join state, negation state and duplicate-elimination state all partition
+cleanly by that attribute.  This module decides, *statically* from the
+logical plan, whether a query can be executed as ``k`` independent shard
+pipelines such that routing each arrival by a hash of one attribute yields
+results identical to unsharded execution.
+
+The analysis propagates a *co-location requirement* top-down through the
+plan.  A requirement is an output-column position that all tuples mapped to
+the same shard must agree on for the operator above to see complete groups:
+
+* **Join / Negation** demand their key column from both inputs — two tuples
+  can only match (or cancel) if they agree on the key, so hashing the key
+  puts every potential match pair on the same shard.
+* **Intersect / DupElim** match on the *full* value tuple.  Equality of the
+  whole tuple implies equality of any single column, so *any* column
+  co-locates matching tuples; the analysis keeps a requirement imposed from
+  above, or searches output positions for one the subtree accepts.
+* **GroupBy** demands its first grouping key (all rows of a group agree on
+  every grouping key).  Group-by without keys is a single global group and
+  cannot be sharded.
+* **Select / Rename** preserve column positions; **Project** maps the
+  requirement through its index list; **Union** forwards it to both inputs
+  (positional schema equality).
+
+Requirements bottom out at :class:`~repro.core.plan.WindowScan` leaves,
+producing one :class:`StreamShardKey` per base stream.  Conflicting demands
+on the same stream (two operators keying the same stream on different
+attributes) make the plan unshardable.  Streams with *no* requirement are
+free: no stateful operator constrains their placement, so the router hashes
+the full value tuple (documented in DESIGN.md; any routing would be
+correct, full-value hashing balances load deterministically).
+
+Plans that are **not** partitionable, and why:
+
+* count-based windows — the window clock is a per-stream arrival sequence
+  number; splitting the stream across shards changes every sequence number
+  and hence every window's contents;
+* relation joins (``RelationJoin`` / ``NRRJoin``) — the relation object is
+  shared by all compiled replicas, and broadcasting relation updates to
+  every shard is out of scope for this layer;
+* shared scans — a ``SharedScan`` leaf is fed by a cross-query shared
+  subplan whose state lives outside the replica;
+* keyless ``GroupBy`` — a single global aggregate needs every tuple;
+* a requirement from above that is not an operator's own key — e.g. a
+  duplicate-elimination over a join demanding a non-key column.
+
+The verdict is consumed by :mod:`repro.engine.shard` (router + backends)
+and surfaced in ``ContinuousQuery.explain()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .plan import (
+    DupElim,
+    GroupBy,
+    Intersect,
+    Join,
+    LogicalNode,
+    Negation,
+    NRRJoin,
+    Project,
+    RelationJoin,
+    Rename,
+    Select,
+    SharedScan,
+    Union,
+    WindowScan,
+)
+from ..streams.window import CountWindow
+
+
+@dataclass(frozen=True)
+class StreamShardKey:
+    """How the router shards one base stream.
+
+    ``attr``/``index`` name a column of the *stream's* schema (the leaf
+    schema, before any operators); ``None`` means no operator constrains the
+    stream and the router hashes the full value tuple.
+    """
+
+    stream: str
+    attr: str | None
+    index: int | None
+
+    def describe(self) -> str:
+        if self.attr is None:
+            return f"{self.stream} by hash(*)"
+        return f"{self.stream} by hash({self.attr})"
+
+
+@dataclass(frozen=True)
+class Partitionability:
+    """Verdict of :func:`analyze_partitionability`."""
+
+    shardable: bool
+    keys: dict[str, StreamShardKey] = field(default_factory=dict)
+    reason: str | None = None
+
+    def describe(self) -> str:
+        """One-line human summary (used by ``explain``)."""
+        if not self.shardable:
+            return f"not partitionable — {self.reason}"
+        routes = ", ".join(
+            self.keys[name].describe() for name in sorted(self.keys)
+        )
+        return f"partitionable — route {routes}" if routes else "partitionable"
+
+
+class _Unshardable(Exception):
+    """Internal control flow: carries the human-readable reason."""
+
+
+def _visit(node: LogicalNode, req: int | None,
+           demands: dict[str, tuple[str, int]]) -> None:
+    """Propagate the co-location requirement ``req`` (an output-column
+    position of ``node``, or None) down to the window leaves, recording
+    per-stream key demands in ``demands`` (stream name -> (attr, index))."""
+    if isinstance(node, WindowScan):
+        stream = node.stream
+        if isinstance(stream.window, CountWindow):
+            raise _Unshardable(
+                f"stream {stream.name!r} uses a count-based window whose "
+                "clock is the per-stream arrival sequence; splitting the "
+                "stream across shards would renumber every arrival"
+            )
+        if req is None:
+            return
+        attr = stream.schema.fields[req]
+        prior = demands.get(stream.name)
+        if prior is not None and prior != (attr, req):
+            raise _Unshardable(
+                f"stream {stream.name!r} is keyed on both {prior[0]!r} and "
+                f"{attr!r}; one routing key cannot co-locate both"
+            )
+        demands[stream.name] = (attr, req)
+        return
+
+    if isinstance(node, SharedScan):
+        raise _Unshardable(
+            f"shared subplan {node.label!r} holds cross-query state outside "
+            "the shard replica"
+        )
+    if isinstance(node, (NRRJoin, RelationJoin)):
+        raise _Unshardable(
+            f"{node.__class__.__name__} references a relation object shared "
+            "by all shard replicas; relation broadcast is not supported"
+        )
+
+    if isinstance(node, (Select, Rename)):
+        _visit(node.child, req, demands)
+        return
+
+    if isinstance(node, Project):
+        child_req = node.indices[req] if req is not None else None
+        _visit(node.child, child_req, demands)
+        return
+
+    if isinstance(node, Union):
+        left, right = node.children
+        _visit(left, req, demands)
+        _visit(right, req, demands)
+        return
+
+    if isinstance(node, Join):
+        left, right = node.children
+        li = left.schema.index_of(node.left_attr)
+        ri = right.schema.index_of(node.right_attr)
+        if req is not None:
+            # The join key occupies position li in the output (left columns
+            # first) and position len(left.schema) + ri for the right copy.
+            if req != li and req != len(left.schema) + ri:
+                raise _Unshardable(
+                    f"an operator above {node.describe()} requires "
+                    f"co-location on output column {node.schema.fields[req]!r}"
+                    ", which is not the join key"
+                )
+        _visit(left, li, demands)
+        _visit(right, ri, demands)
+        return
+
+    if isinstance(node, Negation):
+        left, right = node.children
+        li = left.schema.index_of(node.left_attr)
+        ri = right.schema.index_of(node.right_attr)
+        if req is not None and req != li:
+            raise _Unshardable(
+                f"an operator above {node.describe()} requires co-location "
+                f"on output column {node.schema.fields[req]!r}, which is not "
+                "the negation attribute"
+            )
+        _visit(left, li, demands)
+        _visit(right, ri, demands)
+        return
+
+    if isinstance(node, (DupElim, Intersect)):
+        # Matching is on the full value tuple, so equal tuples agree on
+        # *every* column: any single output position co-locates them.  Keep
+        # the requirement from above, or search for a position the subtree
+        # accepts (a join child only accepts its key column).
+        children = node.children
+        if req is not None:
+            for child in children:
+                _visit(child, req, demands)
+            return
+        last: _Unshardable | None = None
+        for pos in range(len(node.schema)):
+            trial = dict(demands)
+            try:
+                for child in children:
+                    _visit(child, pos, trial)
+            except _Unshardable as exc:
+                last = exc
+                continue
+            demands.clear()
+            demands.update(trial)
+            return
+        raise _Unshardable(
+            f"{node.describe()} needs all copies of a value on one shard, "
+            f"but no column is accepted by its input ({last})"
+        )
+
+    if isinstance(node, GroupBy):
+        if not node.keys:
+            raise _Unshardable(
+                "group-by without grouping keys is one global group; every "
+                "tuple must reach the same aggregate state"
+            )
+        child = node.child
+        if req is not None:
+            # Output schema is keys ++ aggregate aliases; only a grouping
+            # key can be demanded from above.
+            if req >= len(node.keys):
+                raise _Unshardable(
+                    f"an operator above {node.describe()} requires "
+                    "co-location on an aggregate column"
+                )
+            _visit(child, child.schema.index_of(node.keys[req]), demands)
+            return
+        _visit(child, child.schema.index_of(node.keys[0]), demands)
+        return
+
+    raise _Unshardable(
+        f"unknown operator {node.__class__.__name__} — cannot prove it "
+        "partitions by key"
+    )
+
+
+def analyze_partitionability(root: LogicalNode) -> Partitionability:
+    """Decide whether ``root`` can run as independent key-routed shards.
+
+    Returns a :class:`Partitionability` whose ``keys`` map every base
+    stream of the plan to its routing key.  Streams the analysis placed no
+    demand on are *free* and routed by the full value tuple (any routing is
+    correct for them).  On failure, ``shardable`` is False and ``reason``
+    explains which operator blocked sharding.
+    """
+    demands: dict[str, tuple[str, int]] = {}
+    try:
+        _visit(root, None, demands)
+    except _Unshardable as exc:
+        return Partitionability(False, {}, str(exc))
+    keys: dict[str, StreamShardKey] = {}
+    for leaf in root.leaves():
+        name = leaf.stream.name
+        if name in keys:
+            continue
+        demand = demands.get(name)
+        if demand is None:
+            keys[name] = StreamShardKey(name, None, None)
+        else:
+            keys[name] = StreamShardKey(name, demand[0], demand[1])
+    return Partitionability(True, keys, None)

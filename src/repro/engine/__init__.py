@@ -5,6 +5,15 @@ from .multi import GroupRunResult, QueryGroup
 from .profiling import MemoryProfile, MemorySample, profile_memory
 from .reeval import ReEvalResult, ReEvaluationQuery
 from .query import ContinuousQuery, run_query
+from .shard import (
+    ShardedExecutor,
+    ShardedGroupRunResult,
+    ShardedRunResult,
+    ShardRouter,
+    analyze_group_partitionability,
+    run_group_sharded,
+    stable_hash,
+)
 from .sharing import SharedProducer, SharedRuntime, build_shared_runtime
 from .strategies import (
     STR_AUTO,
@@ -32,6 +41,13 @@ __all__ = [
     "SharedProducer",
     "SharedRuntime",
     "build_shared_runtime",
+    "ShardedExecutor",
+    "ShardedGroupRunResult",
+    "ShardedRunResult",
+    "ShardRouter",
+    "analyze_group_partitionability",
+    "run_group_sharded",
+    "stable_hash",
     "STR_AUTO",
     "STR_NEGATIVE",
     "STR_PARTITIONED",

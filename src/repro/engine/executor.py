@@ -147,7 +147,8 @@ class Executor:
 
     def run(self, events: Iterable[Event],
             on_event: Callable[["Executor", Event], None] | None = None,
-            batch: int | None = None) -> RunResult:
+            batch: int | None = None, shards: int | None = None,
+            shard_backend: str = "process") -> RunResult:
         """Process every event; optionally call ``on_event`` after each one.
 
         ``batch=N`` (N > 1) selects the micro-batch path: events are grouped
@@ -156,7 +157,41 @@ class Executor:
         argument).  ``batch=None`` or ``1`` is the paper's tuple-at-a-time
         model.  Both paths produce identical output streams, snapshots and
         expiration counters.
+
+        ``shards=k`` (k > 1) selects key-sharded parallel execution (see
+        :mod:`repro.engine.shard`): the plan is analysed for
+        partitionability, compiled into ``k`` replicas, and every arrival is
+        routed by a stable hash of its shard key.  ``shard_backend`` picks
+        ``"serial"`` (in-process reference backend) or ``"process"``
+        (forked worker pool).  Unshardable plans fall back to this
+        executor's ordinary unsharded run and the returned result's
+        ``fallback_reason`` explains why.  Answers and per-instant output
+        multisets are identical to unsharded execution.
         """
+        if shards is not None and shards > 1:
+            from .shard import ShardedExecutor, ShardedRunResult
+            from ..core.sharding import analyze_partitionability
+
+            if on_event is not None:
+                raise ExecutionError(
+                    "on_event callbacks observe per-event executor state and "
+                    "are not supported with sharded execution")
+            part = analyze_partitionability(self.compiled.root)
+            if not part.shardable:
+                # Clean fallback: run unsharded on this very pipeline so the
+                # executor object stays the live one, and record the reason.
+                result = self.run(events, batch=batch)
+                return ShardedRunResult.fallback(result, part.reason, part)
+            if self._events_processed:
+                raise ExecutionError(
+                    "sharded execution needs a fresh pipeline; this executor "
+                    "has already processed events")
+            sharded = ShardedExecutor(
+                self.compiled.root, self.compiled.config,
+                shards=shards, backend=shard_backend)
+            for callback in self._subscribers:
+                sharded.subscribe(callback)
+            return sharded.run(events, batch=batch)
         start = time.perf_counter()
         if batch is None or batch <= 1:
             for event in events:

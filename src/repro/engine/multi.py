@@ -162,14 +162,27 @@ class QueryGroup:
             query.executor.process_batch(events)
 
     def run(self, events: Iterable[Event],
-            batch: int | None = None) -> "GroupRunResult":
+            batch: int | None = None, shards: int | None = None,
+            shard_backend: str = "process") -> "GroupRunResult":
         """One pass over ``events``, feeding every registered query.
 
         ``batch=N`` selects the micro-batch execution path (PR 1) for both
         shared and independent groups: expiration is amortized to batch
         boundaries — once per shared producer in shared mode — with outputs
         identical to per-event execution.
+
+        ``shards=k`` (k > 1) runs the whole member set as ``k`` key-routed
+        replicas (see :mod:`repro.engine.shard`): each shard holds one
+        pipeline per member and arrivals are routed once by the combined
+        per-stream keys.  Shared groups and groups with unshardable (or
+        key-conflicting) members fall back to the ordinary lockstep run,
+        with the reason recorded on the result.
         """
+        if shards is not None and shards > 1:
+            from .shard import run_group_sharded
+
+            return run_group_sharded(self, events, shards=shards,
+                                     backend=shard_backend, batch=batch)
         if self.shared:
             self._seal()
         start = time.perf_counter()

@@ -35,13 +35,19 @@ class ContinuousQuery:
 
     def run(self, events: Iterable[Event],
             on_event: Callable[[Executor, Event], None] | None = None,
-            batch: int | None = None) -> RunResult:
+            batch: int | None = None, shards: int | None = None,
+            shard_backend: str = "process") -> RunResult:
         """Process the events and return the run's result object.
 
         ``batch=N`` selects the micro-batch execution path (amortized
-        expiration; identical outputs — see Executor.run).
+        expiration; identical outputs — see Executor.run).  ``shards=k``
+        selects key-sharded parallel execution with the given backend
+        (``"serial"`` or ``"process"``); unshardable plans fall back to an
+        unsharded run with the reason recorded on the result and shown by
+        :meth:`explain`.
         """
-        return self.executor.run(events, on_event, batch=batch)
+        return self.executor.run(events, on_event, batch=batch,
+                                 shards=shards, shard_backend=shard_backend)
 
     def answer(self):
         """Current result multiset Q(now)."""
@@ -52,8 +58,14 @@ class ContinuousQuery:
         self.executor.subscribe(callback)
 
     def explain(self) -> str:
-        """The annotated plan as an indented tree (Figure 6, textually)."""
-        return explain(self.plan, self.compiled.annotated)
+        """The annotated plan as an indented tree (Figure 6, textually),
+        plus a sharding marker: either the per-stream routing keys a
+        parallel run would use, or the reason the plan cannot be sharded."""
+        from ..core.sharding import analyze_partitionability
+
+        tree = explain(self.plan, self.compiled.annotated)
+        verdict = analyze_partitionability(self.plan)
+        return f"{tree}\n-- sharding: {verdict.describe()}"
 
     @property
     def mode(self) -> Mode:

@@ -1,0 +1,928 @@
+"""Key-sharded parallel execution: router, deterministic merger, backends.
+
+The partitionability analysis (:mod:`repro.core.sharding`) proves that for
+a keyed plan, routing every arrival by a hash of its shard key splits the
+workload into ``k`` *independent* replicas of the compiled pipeline: no
+stored tuple in shard ``i`` can ever join with, cancel, or deduplicate
+against a tuple in shard ``j``.  This module turns that proof into an
+executor:
+
+* :class:`ShardRouter` — assigns each :class:`Arrival` to
+  ``stable_hash(key) % k``.  The hash is :func:`zlib.crc32` over ``repr``
+  of the key, *not* Python's ``hash()``, which is seed-randomized across
+  processes and would break worker/parent agreement and run-to-run
+  determinism.
+* **Tick broadcast** — every shard sees the *full* global event timeline:
+  an arrival routed elsewhere is demoted to a :class:`Tick` carrying the
+  same timestamp.  This keeps all shard clocks in lockstep with the
+  unsharded executor, so eager-expiration passes, negative-tuple emission
+  times, and the lazy-purge grid (anchored at the first event's clock) fire
+  at exactly the clocks they would unsharded.
+* :class:`_Merger` — merges per-shard output streams deterministically by
+  ``(now, shard, shard-local sequence)``.  Event-clock order is globally
+  correct; *within* one instant the canonical shard-major order replaces
+  the unsharded emission interleaving, and the per-instant output multiset
+  is identical to unsharded execution (DESIGN.md gives the argument; the
+  hypothesis suite in ``tests/test_sharded.py`` checks it).  Streaming is
+  preserved by a holdback rule: after each routed chunk, every output with
+  ``now`` strictly below the chunk's last timestamp is final and flushed —
+  making the merged stream invariant under chunk size and backend.
+* Two backends — :class:`_SerialShards` runs the ``k`` pipelines in-process
+  (exactness testing, counter decomposition, zero IPC), and
+  :class:`_ProcessShards` forks one worker per shard and ships micro-batch
+  chunks over pipes using compact tuple encodings (``Tuple`` forbids
+  ``__setattr__`` and so cannot round-trip through default slot-restoring
+  pickle; compact tuples are also smaller and faster).  Workers are built
+  by *fork inheritance* — plans may close over lambdas, which never need to
+  be pickled because the 'fork' start method copies them into the child.
+
+Exactness vs. unsharded execution (checked by tests, argued in DESIGN.md):
+answers, per-instant output multisets, and view snapshots are identical;
+counters decompose exactly (unsharded total = Σ shard totals) for the
+structural counters (inserts, deletes, expirations, probes,
+tuples_processed, negatives_processed, results_produced).  ``touches`` also
+decomposes exactly in tuple-at-a-time mode under NT and DIRECT; under UPA
+the partitioned buffer's ``log2(partition length)`` bisect charge depends
+on per-shard occupancy, and in micro-batch mode the per-shard expiration
+*boundaries* differ from the global one, so scan charges shift — the
+speedup measured by benchmark E13 is exactly this removed work.
+
+Plans the analysis rejects (count windows, relation joins, shared scans,
+keyless aggregation) **fall back** to ordinary unsharded execution; the
+returned result records the reason, and ``explain()`` carries the same
+note.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import zlib
+from collections import Counter as Multiset
+from itertools import islice
+from typing import Callable, Iterable, Iterator, Sequence
+
+from ..core.metrics import Counters
+from ..core.plan import LogicalNode
+from ..core.sharding import (
+    Partitionability,
+    StreamShardKey,
+    analyze_partitionability,
+)
+from ..core.tuples import Tuple
+from ..errors import ExecutionError
+from ..streams.stream import Arrival, Event, RelationUpdate, Tick
+from .executor import Executor
+from .strategies import ExecutionConfig, compile_plan
+
+#: Events shipped per backend step when no micro-batch size is given.
+DEFAULT_CHUNK = 256
+
+SERIAL = "serial"
+PROCESS = "process"
+_BACKENDS = (SERIAL, PROCESS)
+
+
+def stable_hash(value: object) -> int:
+    """Process- and run-stable hash used for shard routing.
+
+    Python's built-in ``hash`` is randomized per interpreter (PYTHONHASHSEED),
+    so a forked worker restarted across runs — or the parent vs. an analysis
+    script — would disagree on placements.  CRC32 of ``repr(value)`` is
+    deterministic everywhere and cheap for the short strings and tuples used
+    as keys.
+    """
+    return zlib.crc32(repr(value).encode("utf-8"))
+
+
+def _chunked(events: Iterable[Event], size: int) -> Iterator[list[Event]]:
+    iterator = iter(events)
+    while True:
+        chunk = list(islice(iterator, size))
+        if not chunk:
+            return
+        yield chunk
+
+
+class ShardRouter:
+    """Routes events to shards by key hash; foreign arrivals become ticks."""
+
+    def __init__(self, keys: dict[str, StreamShardKey], n_shards: int):
+        if n_shards < 1:
+            raise ExecutionError(f"need at least one shard, got {n_shards}")
+        self.n_shards = n_shards
+        #: stream -> key column index (None = hash the full value tuple).
+        self._index: dict[str, int | None] = {
+            name: sk.index for name, sk in keys.items()
+        }
+        self.per_shard_arrivals = [0] * n_shards
+        self.broadcasts = 0
+
+    def shard_of(self, event: Event) -> int | None:
+        """Shard index for an arrival; None for broadcast events.
+
+        Streams the plan does not reference route by their full value tuple
+        (like analysis-free streams — any placement is correct, and the
+        unsharded executor ignores them identically)."""
+        if isinstance(event, Arrival):
+            index = self._index.get(event.stream)
+            key = event.values if index is None else event.values[index]
+            return stable_hash(key) % self.n_shards
+        return None
+
+    def route_chunk(self, chunk: Sequence[Event]) -> list[list[Event]]:
+        """Split one global chunk into per-shard chunks of equal length.
+
+        Every shard receives every timeline position: its own arrivals
+        verbatim, everyone else's as a :class:`Tick` at the same timestamp
+        (clock-lockstep; see the module docstring).  Ticks and relation
+        updates broadcast to all shards.
+        """
+        per: list[list[Event]] = [[] for _ in range(self.n_shards)]
+        per_shard_arrivals = self.per_shard_arrivals
+        for event in chunk:
+            target = self.shard_of(event)
+            if target is None:
+                self.broadcasts += 1
+                for shard in per:
+                    shard.append(event)
+            else:
+                per_shard_arrivals[target] += 1
+                tick = Tick(event.ts)
+                for i, shard in enumerate(per):
+                    shard.append(event if i == target else tick)
+        return per
+
+
+# -- output collection and deterministic merge --------------------------------
+
+
+class _ShardCollector:
+    """Subscriber that tags a shard's output stream with local sequence
+    numbers (the within-shard order is exactly the unsharded emission order
+    restricted to that shard's tuples)."""
+
+    __slots__ = ("items", "_seq")
+
+    def __init__(self) -> None:
+        self.items: list[tuple[float, int, Tuple]] = []
+        self._seq = 0
+
+    def __call__(self, t: Tuple, now: float) -> None:
+        self.items.append((now, self._seq, t))
+        self._seq += 1
+
+    def drain(self) -> list[tuple[float, int, Tuple]]:
+        items = self.items
+        self.items = []
+        return items
+
+
+class _Merger:
+    """Deterministic merge of per-shard output streams.
+
+    Delivery order is ``(now, shard, local sequence)``: globally ordered by
+    event clock, canonically shard-major within an instant.  The holdback
+    flush keeps the merge streaming *and* chunk-size-invariant: an output at
+    clock ``c`` is final once every shard's clock has passed ``c``, which is
+    guaranteed after processing a chunk whose last event has ``ts > c``
+    (tick broadcast keeps all shard clocks equal to the global clock).
+    """
+
+    def __init__(self, subscribers: Sequence[Callable[[Tuple, float], None]]):
+        self._subscribers = list(subscribers)
+        self._pending: list[tuple[float, int, int, Tuple]] = []
+
+    @property
+    def active(self) -> bool:
+        return bool(self._subscribers)
+
+    def add(self, shard: int, items: Iterable[tuple[float, int, Tuple]]) -> None:
+        if not self._subscribers:
+            return
+        self._pending.extend(
+            (now, shard, seq, t) for now, seq, t in items
+        )
+
+    def flush_below(self, boundary: float) -> None:
+        """Deliver every pending output with ``now`` strictly below
+        ``boundary`` (outputs at the boundary instant may still gain
+        same-instant siblings from later events at the same timestamp)."""
+        if not self._pending:
+            return
+        self._pending.sort()
+        cut = 0
+        for record in self._pending:
+            if record[0] < boundary:
+                cut += 1
+            else:
+                break
+        if cut:
+            self._deliver(self._pending[:cut])
+            self._pending = self._pending[cut:]
+
+    def finish(self) -> None:
+        self._pending.sort()
+        self._deliver(self._pending)
+        self._pending = []
+
+    def _deliver(self, records) -> None:
+        subscribers = self._subscribers
+        for now, _shard, _seq, t in records:
+            for subscriber in subscribers:
+                subscriber(t, now)
+
+
+# -- compact IPC encodings -----------------------------------------------------
+#
+# Tuple is an immutable __slots__ class whose __setattr__ raises, so default
+# pickling (which restores slots via setattr) cannot round-trip it; events
+# carry little data anyway.  Plain tuples keep messages small and fast.
+
+
+def _encode_event(event: Event):
+    if isinstance(event, Arrival):
+        return ("a", event.ts, event.stream, event.values)
+    if isinstance(event, Tick):
+        return ("t", event.ts)
+    if isinstance(event, RelationUpdate):
+        return ("r", event.ts, event.relation, event.op, event.values)
+    raise ExecutionError(f"unknown event type {type(event).__name__}")
+
+
+def _decode_event(record) -> Event:
+    tag = record[0]
+    if tag == "a":
+        return Arrival(record[1], record[2], record[3])
+    if tag == "t":
+        return Tick(record[1])
+    return RelationUpdate(record[1], record[2], record[3], record[4])
+
+
+def _encode_outputs(items: list[tuple[float, int, Tuple]]):
+    return [(now, seq, t.values, t.ts, t.exp, t.sign)
+            for now, seq, t in items]
+
+
+def _decode_outputs(payload) -> list[tuple[float, int, Tuple]]:
+    return [(now, seq, Tuple(values, ts, exp, sign))
+            for now, seq, values, ts, exp, sign in payload]
+
+
+class _ShardFinal:
+    """Per-shard end-of-run report."""
+
+    __slots__ = ("answer", "counters", "events_processed", "tuples_arrived",
+                 "state_size")
+
+    def __init__(self, answer: Multiset, counters: dict,
+                 events_processed: int, tuples_arrived: int,
+                 state_size: int):
+        self.answer = answer
+        self.counters = counters
+        self.events_processed = events_processed
+        self.tuples_arrived = tuples_arrived
+        self.state_size = state_size
+
+
+# -- backends ------------------------------------------------------------------
+
+
+class _SerialShards:
+    """k in-process pipeline replicas fed round-robin in shard order.
+
+    The reference backend: no IPC, exact per-shard counters, and the
+    executor objects stay inspectable after the run (tests read the shard
+    views directly)."""
+
+    def __init__(self, plan: LogicalNode, config: ExecutionConfig,
+                 n_shards: int, batch: int | None, collect: bool):
+        self._batch = batch
+        self.executors: list[Executor] = []
+        self._collectors: list[_ShardCollector] = []
+        for _ in range(n_shards):
+            executor = Executor(compile_plan(plan, config))
+            collector = _ShardCollector()
+            if collect:
+                executor.subscribe(collector)
+            self.executors.append(executor)
+            self._collectors.append(collector)
+
+    def feed(self, per_shard: list[list[Event]]
+             ) -> list[list[tuple[float, int, Tuple]]]:
+        batch = self._batch
+        outputs = []
+        for executor, collector, events in zip(
+                self.executors, self._collectors, per_shard):
+            if batch is not None and batch > 1:
+                executor.process_batch(events)
+            else:
+                process = executor.process_event
+                for event in events:
+                    process(event)
+            outputs.append(collector.drain())
+        return outputs
+
+    def finish(self) -> list[_ShardFinal]:
+        return [
+            _ShardFinal(executor.answer(),
+                        executor.compiled.counters.snapshot(),
+                        executor._events_processed,
+                        executor.tuples_arrived,
+                        executor.compiled.state_size())
+            for executor in self.executors
+        ]
+
+
+def _shard_worker_main(conn, plan: LogicalNode, config: ExecutionConfig,
+                       batch: int | None, collect: bool) -> None:
+    """Worker loop for one forked shard process.
+
+    Built from fork-inherited arguments — the plan (which may close over
+    lambdas in predicates) is never pickled.  Protocol: ``("chunk",
+    events)`` → ``("out", outputs)``; ``("finish",)`` → ``("fin", answer
+    items, counter snapshot, events, tuples, state size)``.  Any exception
+    is reported as ``("err", message)`` and ends the worker.
+    """
+    try:
+        executor = Executor(compile_plan(plan, config))
+        collector = _ShardCollector()
+        if collect:
+            executor.subscribe(collector)
+        while True:
+            message = conn.recv()
+            tag = message[0]
+            if tag == "chunk":
+                events = [_decode_event(r) for r in message[1]]
+                if batch is not None and batch > 1:
+                    executor.process_batch(events)
+                else:
+                    process = executor.process_event
+                    for event in events:
+                        process(event)
+                conn.send(("out", _encode_outputs(collector.drain())))
+            elif tag == "finish":
+                conn.send((
+                    "fin",
+                    list(executor.answer().items()),
+                    executor.compiled.counters.snapshot(),
+                    executor._events_processed,
+                    executor.tuples_arrived,
+                    executor.compiled.state_size(),
+                ))
+                conn.close()
+                return
+            else:  # pragma: no cover - closed protocol
+                raise ExecutionError(f"unknown worker message {tag!r}")
+    except Exception as exc:  # pragma: no cover - exercised via parent raise
+        try:
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+            conn.close()
+        except OSError:
+            pass
+
+
+class _ProcessShards:
+    """k forked worker processes, one pipeline replica each.
+
+    The parent sends every shard its chunk *before* collecting any reply, so
+    all workers compute concurrently while the parent waits — the shipped
+    chunks are the same micro-batches PR 1 amortizes, so pickling cost is
+    paid once per chunk, not per event.
+    """
+
+    def __init__(self, plan: LogicalNode, config: ExecutionConfig,
+                 n_shards: int, batch: int | None, collect: bool):
+        context = multiprocessing.get_context("fork")
+        self._connections = []
+        self._processes = []
+        for _ in range(n_shards):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_shard_worker_main,
+                args=(child_conn, plan, config, batch, collect),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._connections.append(parent_conn)
+            self._processes.append(process)
+
+    def _receive(self, conn):
+        reply = conn.recv()
+        if reply[0] == "err":
+            raise ExecutionError(f"shard worker failed: {reply[1]}")
+        return reply
+
+    def feed(self, per_shard: list[list[Event]]
+             ) -> list[list[tuple[float, int, Tuple]]]:
+        for conn, events in zip(self._connections, per_shard):
+            conn.send(("chunk", [_encode_event(e) for e in events]))
+        return [_decode_outputs(self._receive(conn)[1])
+                for conn in self._connections]
+
+    def finish(self) -> list[_ShardFinal]:
+        for conn in self._connections:
+            conn.send(("finish",))
+        finals = []
+        for conn in self._connections:
+            _tag, answer_items, counters, events, tuples, state = (
+                self._receive(conn))
+            answer: Multiset = Multiset()
+            for values, count in answer_items:
+                answer[values] = count
+            finals.append(_ShardFinal(answer, counters, events, tuples, state))
+            conn.close()
+        for process in self._processes:
+            process.join(timeout=30)
+        return finals
+
+
+def _fork_available() -> bool:
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - platform-specific
+        return False
+
+
+def _sum_counters(snapshots: Iterable[dict]) -> Counters:
+    total = Counters()
+    for snapshot in snapshots:
+        for name, value in snapshot.items():
+            setattr(total, name, getattr(total, name) + value)
+    return total
+
+
+# -- results -------------------------------------------------------------------
+
+
+class ShardedRunResult:
+    """Outcome of a sharded run; duck-types :class:`~.executor.RunResult`.
+
+    Adds the sharding surface: ``shards``, ``backend``, ``fallback_reason``
+    (non-None when the plan was unshardable and ran unsharded),
+    ``shard_counters`` (per-shard counter snapshots — the decomposition the
+    equivalence tests check), ``per_shard_arrivals`` (router balance), and
+    ``state_size`` (total stored tuples across shard pipelines).
+    """
+
+    def __init__(self, *, shards: int, backend: str, elapsed: float,
+                 events_processed: int, tuples_arrived: int,
+                 counters: Counters, shard_counters: list[dict],
+                 answer_fn: Callable[[], Multiset],
+                 partitionability: Partitionability | None = None,
+                 fallback_reason: str | None = None,
+                 per_shard_arrivals: list[int] | None = None,
+                 state_size: int = 0):
+        self.shards = shards
+        self.backend = backend
+        self.elapsed = elapsed
+        self.events_processed = events_processed
+        self.tuples_arrived = tuples_arrived
+        self.counters = counters
+        self.shard_counters = shard_counters
+        self.partitionability = partitionability
+        self.fallback_reason = fallback_reason
+        self.per_shard_arrivals = per_shard_arrivals or []
+        self.state_size = state_size
+        self._answer_fn = answer_fn
+
+    @classmethod
+    def fallback(cls, result, reason: str | None,
+                 partitionability: Partitionability | None = None
+                 ) -> "ShardedRunResult":
+        """Wrap an unsharded :class:`RunResult` after a clean fallback."""
+        return cls(
+            shards=1, backend="inline", elapsed=result.elapsed,
+            events_processed=result.events_processed,
+            tuples_arrived=result.tuples_arrived,
+            counters=result.counters,
+            shard_counters=[result.counters.snapshot()],
+            answer_fn=result.answer,
+            partitionability=partitionability,
+            fallback_reason=reason,
+        )
+
+    def answer(self) -> Multiset:
+        """Live result multiset Q(now): the sum of the shard views'
+        snapshots (every result lives in exactly one shard)."""
+        return self._answer_fn()
+
+    @property
+    def touches(self) -> int:
+        return self.counters.touches
+
+    def time_per_1000(self) -> float:
+        if not self.tuples_arrived:
+            return 0.0
+        return 1000.0 * self.elapsed / self.tuples_arrived
+
+    def touches_per_tuple(self) -> float:
+        if not self.tuples_arrived:
+            return 0.0
+        return self.counters.touches / self.tuples_arrived
+
+    def touches_per_event(self) -> float:
+        return self.touches_per_tuple()
+
+    def __repr__(self) -> str:
+        note = (f", fallback={self.fallback_reason!r}"
+                if self.fallback_reason else "")
+        return (f"ShardedRunResult(shards={self.shards}, "
+                f"backend={self.backend!r}, events={self.events_processed}, "
+                f"tuples={self.tuples_arrived}, "
+                f"elapsed={self.elapsed:.3f}s, touches={self.touches}{note})")
+
+
+# -- the sharded executor ------------------------------------------------------
+
+
+class ShardedExecutor:
+    """Runs one continuous query as ``k`` key-routed pipeline replicas.
+
+    ``backend`` is ``"serial"`` (in-process reference) or ``"process"``
+    (forked worker pool).  When the plan is unshardable, ``shards <= 1``,
+    or fork is unavailable for the process backend, execution degrades
+    gracefully (recorded in the result's ``fallback_reason`` / ``backend``).
+    """
+
+    def __init__(self, plan: LogicalNode,
+                 config: ExecutionConfig | None = None,
+                 shards: int = 2, backend: str = PROCESS):
+        if backend not in _BACKENDS:
+            raise ExecutionError(
+                f"unknown shard backend {backend!r} (valid: {_BACKENDS})")
+        self.plan = plan
+        self.config = config if config is not None else ExecutionConfig()
+        self.shards = shards
+        self.backend = backend
+        self.partitionability = analyze_partitionability(plan)
+        self._subscribers: list[Callable[[Tuple, float], None]] = []
+
+    def subscribe(self, callback: Callable[[Tuple, float], None]) -> None:
+        """Receive the merged output stream in deterministic
+        ``(now, shard, sequence)`` order."""
+        self._subscribers.append(callback)
+
+    def run(self, events: Iterable[Event],
+            batch: int | None = None) -> ShardedRunResult:
+        part = self.partitionability
+        if self.shards <= 1 or not part.shardable:
+            reason = None if part.shardable else part.reason
+            executor = Executor(compile_plan(self.plan, self.config))
+            for callback in self._subscribers:
+                executor.subscribe(callback)
+            return ShardedRunResult.fallback(
+                executor.run(events, batch=batch), reason, part)
+
+        backend_name = self.backend
+        if backend_name == PROCESS and not _fork_available():
+            backend_name = SERIAL  # pragma: no cover - non-fork platforms
+
+        k = self.shards
+        router = ShardRouter(part.keys, k)
+        merger = _Merger(self._subscribers)
+        collect = merger.active
+        backend_cls = _SerialShards if backend_name == SERIAL else _ProcessShards
+        backend = backend_cls(self.plan, self.config, k, batch, collect)
+
+        chunk_size = batch if batch is not None and batch > 1 else DEFAULT_CHUNK
+        start = time.perf_counter()
+        events_processed = 0
+        tuples_arrived = 0
+        for chunk in _chunked(events, chunk_size):
+            events_processed += len(chunk)
+            tuples_arrived += sum(
+                1 for event in chunk if isinstance(event, Arrival))
+            outputs = backend.feed(router.route_chunk(chunk))
+            if collect:
+                for shard, items in enumerate(outputs):
+                    merger.add(shard, items)
+                merger.flush_below(chunk[-1].ts)
+        finals = backend.finish()
+        merger.finish()
+        elapsed = time.perf_counter() - start
+
+        shard_answers = [final.answer for final in finals]
+
+        def answer() -> Multiset:
+            total: Multiset = Multiset()
+            for shard_answer in shard_answers:
+                total.update(shard_answer)
+            return total
+
+        return ShardedRunResult(
+            shards=k,
+            backend=backend_name,
+            elapsed=elapsed,
+            events_processed=events_processed,
+            tuples_arrived=tuples_arrived,
+            counters=_sum_counters(final.counters for final in finals),
+            shard_counters=[final.counters for final in finals],
+            answer_fn=answer,
+            partitionability=part,
+            per_shard_arrivals=list(router.per_shard_arrivals),
+            state_size=sum(final.state_size for final in finals),
+        )
+
+
+# -- group sharding ------------------------------------------------------------
+
+
+def analyze_group_partitionability(
+        members: Sequence[tuple[str, LogicalNode, ExecutionConfig | None]]
+) -> Partitionability:
+    """Combined verdict for a query group executed in lockstep.
+
+    Every member must be individually shardable, and members that key the
+    same stream must agree on the key attribute (a free demand defers to a
+    keyed one — any routing is correct for the free member)."""
+    keys: dict[str, StreamShardKey] = {}
+    for name, plan, _config in members:
+        verdict = analyze_partitionability(plan)
+        if not verdict.shardable:
+            return Partitionability(
+                False, {}, f"member {name!r}: {verdict.reason}")
+        for stream, shard_key in verdict.keys.items():
+            prior = keys.get(stream)
+            if prior is None or prior.attr is None:
+                keys[stream] = shard_key
+            elif (shard_key.attr is not None
+                    and shard_key.attr != prior.attr):
+                return Partitionability(
+                    False, {},
+                    f"members key stream {stream!r} on both "
+                    f"{prior.attr!r} and {shard_key.attr!r}")
+    return Partitionability(True, keys, None)
+
+
+class _SerialGroupShards:
+    """k in-process replicas of the whole member set."""
+
+    def __init__(self, members, n_shards: int, batch: int | None):
+        self._batch = batch
+        self.replicas: list[list[tuple[str, Executor]]] = []
+        for _ in range(n_shards):
+            replica = [
+                (name, Executor(compile_plan(
+                    plan, config if config is not None else ExecutionConfig())))
+                for name, plan, config in members
+            ]
+            self.replicas.append(replica)
+
+    def feed(self, per_shard: list[list[Event]]) -> None:
+        batch = self._batch
+        for replica, events in zip(self.replicas, per_shard):
+            if batch is not None and batch > 1:
+                for _name, executor in replica:
+                    executor.process_batch(events)
+            else:
+                for event in events:
+                    for _name, executor in replica:
+                        executor.process_event(event)
+
+    def finish(self) -> list[dict[str, tuple[Multiset, dict]]]:
+        reports = []
+        for replica in self.replicas:
+            reports.append({
+                name: (executor.answer(),
+                       executor.compiled.counters.snapshot())
+                for name, executor in replica
+            })
+        return reports
+
+
+def _group_worker_main(conn, members, batch: int | None) -> None:
+    """Worker loop for one forked group shard (all members, one shard)."""
+    try:
+        replica = [
+            (name, Executor(compile_plan(
+                plan, config if config is not None else ExecutionConfig())))
+            for name, plan, config in members
+        ]
+        while True:
+            message = conn.recv()
+            tag = message[0]
+            if tag == "chunk":
+                events = [_decode_event(r) for r in message[1]]
+                if batch is not None and batch > 1:
+                    for _name, executor in replica:
+                        executor.process_batch(events)
+                else:
+                    for event in events:
+                        for _name, executor in replica:
+                            executor.process_event(event)
+                conn.send(("ok",))
+            elif tag == "finish":
+                conn.send(("fin", [
+                    (name, list(executor.answer().items()),
+                     executor.compiled.counters.snapshot())
+                    for name, executor in replica
+                ]))
+                conn.close()
+                return
+            else:  # pragma: no cover - closed protocol
+                raise ExecutionError(f"unknown worker message {tag!r}")
+    except Exception as exc:  # pragma: no cover - exercised via parent raise
+        try:
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+            conn.close()
+        except OSError:
+            pass
+
+
+class _ProcessGroupShards:
+    """k forked workers, each holding a full member-set replica."""
+
+    def __init__(self, members, n_shards: int, batch: int | None):
+        context = multiprocessing.get_context("fork")
+        self._connections = []
+        self._processes = []
+        for _ in range(n_shards):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_group_worker_main,
+                args=(child_conn, members, batch),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._connections.append(parent_conn)
+            self._processes.append(process)
+
+    def _receive(self, conn):
+        reply = conn.recv()
+        if reply[0] == "err":
+            raise ExecutionError(f"group shard worker failed: {reply[1]}")
+        return reply
+
+    def feed(self, per_shard: list[list[Event]]) -> None:
+        for conn, events in zip(self._connections, per_shard):
+            conn.send(("chunk", [_encode_event(e) for e in events]))
+        for conn in self._connections:
+            self._receive(conn)
+
+    def finish(self) -> list[dict[str, tuple[Multiset, dict]]]:
+        for conn in self._connections:
+            conn.send(("finish",))
+        reports = []
+        for conn in self._connections:
+            _tag, entries = self._receive(conn)
+            report = {}
+            for name, answer_items, counters in entries:
+                answer: Multiset = Multiset()
+                for values, count in answer_items:
+                    answer[values] = count
+                report[name] = (answer, counters)
+            reports.append(report)
+            conn.close()
+        for process in self._processes:
+            process.join(timeout=30)
+        return reports
+
+
+class ShardedGroupRunResult:
+    """Sharded counterpart of :class:`~.multi.GroupRunResult`."""
+
+    def __init__(self, *, names: list[str],
+                 answers: dict[str, Multiset],
+                 member_counters: dict[str, Counters],
+                 shard_counters: list[dict[str, dict]],
+                 elapsed: float, events_processed: int, tuples_arrived: int,
+                 shards: int, backend: str,
+                 partitionability: Partitionability | None = None,
+                 fallback=None, fallback_reason: str | None = None):
+        self.names = names
+        self.elapsed = elapsed
+        self.events_processed = events_processed
+        self.tuples_arrived = tuples_arrived
+        self.shards = shards
+        self.backend = backend
+        self.partitionability = partitionability
+        self.fallback_reason = fallback_reason
+        self.shard_counters = shard_counters
+        self.member_counters = member_counters
+        self._answers = answers
+        self._fallback = fallback
+
+    @classmethod
+    def from_fallback(cls, result, reason: str | None,
+                      partitionability: Partitionability | None = None
+                      ) -> "ShardedGroupRunResult":
+        """Wrap an unsharded :class:`GroupRunResult` produced by a graceful
+        fallback, recording ``reason`` and delegating answers/touches to it."""
+        group = result.group
+        return cls(
+            names=group.names(), answers={}, member_counters={},
+            shard_counters=[], elapsed=result.elapsed,
+            events_processed=result.events_processed,
+            tuples_arrived=result.tuples_arrived,
+            shards=1, backend="inline",
+            partitionability=partitionability,
+            fallback=result, fallback_reason=reason,
+        )
+
+    def answer(self, name: str) -> Multiset:
+        if self._fallback is not None:
+            return self._fallback.answer(name)
+        return self._answers[name]
+
+    def answers(self) -> dict[str, dict]:
+        return {name: dict(self.answer(name)) for name in self.names}
+
+    def time_per_1000(self) -> float:
+        if not self.tuples_arrived:
+            return 0.0
+        return 1000.0 * self.elapsed / self.tuples_arrived
+
+    def touches(self) -> dict[str, int]:
+        if self._fallback is not None:
+            return self._fallback.touches()
+        return {name: counters.touches
+                for name, counters in self.member_counters.items()}
+
+    def shared_touches(self) -> int:
+        if self._fallback is not None:
+            return self._fallback.shared_touches()
+        return 0  # sharded groups always run members independently
+
+    def total_touches(self) -> int:
+        return sum(self.touches().values()) + self.shared_touches()
+
+    def __repr__(self) -> str:
+        note = (f", fallback={self.fallback_reason!r}"
+                if self.fallback_reason else "")
+        return (f"ShardedGroupRunResult(queries={len(self.names)}, "
+                f"shards={self.shards}, backend={self.backend!r}, "
+                f"events={self.events_processed}, "
+                f"elapsed={self.elapsed:.3f}s{note})")
+
+
+def run_group_sharded(group, events: Iterable[Event], *, shards: int,
+                      backend: str = PROCESS,
+                      batch: int | None = None) -> ShardedGroupRunResult:
+    """Run every member of ``group`` across ``shards`` key-routed replicas.
+
+    Shared groups (``shared=True``) fuse state *across* queries, which a
+    shard replica cannot hold independently per key — they fall back to the
+    ordinary lockstep run, as do groups whose members are unshardable or
+    disagree on a stream's key.
+    """
+    if backend not in _BACKENDS:
+        raise ExecutionError(
+            f"unknown shard backend {backend!r} (valid: {_BACKENDS})")
+    if group.shared:
+        result = group.run(events, batch=batch)
+        return ShardedGroupRunResult.from_fallback(
+            result,
+            "shared groups fuse subplans across queries; run the members "
+            "as an independent group to shard them",
+        )
+    members = [(name, query.plan, query.config)
+               for name, query in group._queries.items()]
+    part = analyze_group_partitionability(members)
+    if shards <= 1 or not part.shardable:
+        reason = None if part.shardable else part.reason
+        result = group.run(events, batch=batch)
+        return ShardedGroupRunResult.from_fallback(result, reason, part)
+
+    backend_name = backend
+    if backend_name == PROCESS and not _fork_available():
+        backend_name = SERIAL  # pragma: no cover - non-fork platforms
+
+    router = ShardRouter(part.keys, shards)
+    backend_cls = (_SerialGroupShards if backend_name == SERIAL
+                   else _ProcessGroupShards)
+    shard_backend = backend_cls(members, shards, batch)
+
+    chunk_size = batch if batch is not None and batch > 1 else DEFAULT_CHUNK
+    start = time.perf_counter()
+    events_processed = 0
+    tuples_arrived = 0
+    for chunk in _chunked(events, chunk_size):
+        events_processed += len(chunk)
+        tuples_arrived += sum(
+            1 for event in chunk if isinstance(event, Arrival))
+        shard_backend.feed(router.route_chunk(chunk))
+    reports = shard_backend.finish()
+    elapsed = time.perf_counter() - start
+
+    names = [name for name, _plan, _config in members]
+    answers: dict[str, Multiset] = {name: Multiset() for name in names}
+    member_counters: dict[str, Counters] = {}
+    shard_counters: list[dict[str, dict]] = []
+    for report in reports:
+        shard_counters.append(
+            {name: counters for name, (_answer, counters) in report.items()})
+        for name, (answer, _counters) in report.items():
+            answers[name].update(answer)
+    for name in names:
+        member_counters[name] = _sum_counters(
+            report[name][1] for report in reports)
+
+    return ShardedGroupRunResult(
+        names=names, answers=answers, member_counters=member_counters,
+        shard_counters=shard_counters, elapsed=elapsed,
+        events_processed=events_processed, tuples_arrived=tuples_arrived,
+        shards=shards, backend=backend_name, partitionability=part,
+    )

@@ -52,7 +52,7 @@ from ..core.plan import (
     WindowScan,
 )
 from ..core.tuples import deletion_key
-from ..errors import PlanError
+from ..errors import ConfigError, PlanError
 from ..operators.base import PhysicalOperator
 from ..operators.dupelim import DupElimDeltaOp, DupElimStandardOp
 from ..operators.groupby import GroupByOp
@@ -81,7 +81,14 @@ STR_AUTO = "auto"
 
 @dataclasses.dataclass
 class ExecutionConfig:
-    """Tunable physical parameters (Section 6.1's experimental knobs)."""
+    """Tunable physical parameters (Section 6.1's experimental knobs).
+
+    Knobs are validated eagerly at construction (and therefore at
+    ``dataclasses.replace`` time): a bad value raises
+    :class:`repro.errors.ConfigError` immediately, instead of surfacing
+    later as an opaque failure deep inside ``PartitionedBuffer.__init__``
+    mid-compilation.
+    """
 
     mode: Mode = Mode.UPA
     n_partitions: int = 10
@@ -99,6 +106,32 @@ class ExecutionConfig:
     #: (Section 1).  Compilation rejects such plans unless explicitly
     #: permitted (e.g. for bounded experiments).
     allow_unbounded_state: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.mode, Mode):
+            raise ConfigError(
+                f"mode must be a Mode, got {self.mode!r} "
+                f"(valid: {[m.value for m in Mode]})")
+        if self.n_partitions < 1:
+            raise ConfigError(
+                f"n_partitions must be >= 1, got {self.n_partitions} "
+                "(the partitioned buffer needs at least one partition, "
+                "Figure 7)")
+        if self.lazy_interval is not None and self.lazy_interval <= 0:
+            raise ConfigError(
+                f"lazy_interval must be positive when set, got "
+                f"{self.lazy_interval} (None selects the paper's default of "
+                "5% of the largest window)")
+        if self.premature_frequency is not None and not (
+                0.0 <= self.premature_frequency <= 1.0):
+            raise ConfigError(
+                f"premature_frequency must lie in [0, 1], got "
+                f"{self.premature_frequency} (it is the estimated fraction "
+                "of results that expire prematurely, Section 5.3.2)")
+        if self.str_storage not in (STR_AUTO, STR_PARTITIONED, STR_NEGATIVE):
+            raise ConfigError(
+                f"unknown str_storage {self.str_storage!r} (valid: "
+                f"{STR_AUTO!r}, {STR_PARTITIONED!r}, {STR_NEGATIVE!r})")
 
     def resolved_str_storage(self) -> str:
         """The STR scheme after resolving ``auto`` (Section 5.3.2's rule)."""

@@ -23,6 +23,19 @@ class PlanError(ReproError):
     """
 
 
+class ConfigError(PlanError):
+    """An :class:`~repro.engine.strategies.ExecutionConfig` knob is invalid.
+
+    Raised eagerly at configuration construction time (``n_partitions`` must
+    be at least 1, ``lazy_interval`` must be positive when set,
+    ``premature_frequency`` must lie in [0, 1]) so that a bad knob fails
+    with a clear message instead of surfacing deep inside a state-buffer
+    constructor mid-compilation.  Subclasses :class:`PlanError`: a bad
+    configuration is a planning-time mistake, and callers that guarded
+    compilation with ``except PlanError`` keep working.
+    """
+
+
 class ExecutionError(ReproError):
     """The engine received inconsistent input at run time.
 

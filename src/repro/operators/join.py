@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from ..buffers.base import StateBuffer
 from ..core.metrics import Counters
-from ..core.tuples import Schema, Tuple, join_tuples
+from ..core.tuples import NEGATIVE, Schema, Tuple, join_tuples
 from .base import PhysicalOperator
 
 
@@ -137,10 +137,49 @@ class IntersectOp(JoinOp):
         super().__init__(schema, 0, 0, left_buffer, right_buffer, counters)
 
     def process_batch(self, input_index: int, tuples, now: float) -> list[Tuple]:
-        # Intersection's result construction differs from the equi-join's,
-        # so do not inherit JoinOp's inlined batch loop; fall back to the
-        # generic per-tuple loop over our own process().
-        return PhysicalOperator.process_batch(self, input_index, tuples, now)
+        """Fused batch loop for intersection (mirrors JoinOp.process_batch).
+
+        Intersection's result construction differs from the equi-join's —
+        results carry the left constituent's values and expire when either
+        constituent does — so JoinOp's inlined loop cannot be inherited.
+        This fused loop hoists the clock advance, buffer-pair resolution and
+        bound methods out of the per-tuple iteration while staying output-
+        and counter-identical to looping over :meth:`process`: one
+        ``tuples_processed`` charge per tuple, one ``negatives_processed``
+        charge per negative, probes/touches charged by the buffers exactly
+        as in the scalar path, and ``results_produced`` counting positive
+        results only.
+        """
+        self._advance(now)
+        counters = self.counters
+        own = self._buffers[input_index]
+        other = self._buffers[1 - input_index]
+        own_insert = own.insert
+        own_delete = own.delete
+        probe = other.probe
+        probe_all = other.probe_all
+        out: list[Tuple] = []
+        positives_out = 0
+        counters.tuples_processed += len(tuples)
+        for t in tuples:
+            values = t.values
+            t_exp = t.exp
+            if t.is_negative:
+                counters.negatives_processed += 1
+                own_delete(t)
+                out.extend(
+                    Tuple(values, now, t_exp if t_exp < m.exp else m.exp,
+                          NEGATIVE)
+                    for m in probe_all(values))
+            else:
+                own_insert(t)
+                matches = probe(values, now)
+                positives_out += len(matches)
+                out.extend(
+                    Tuple(values, now, t_exp if t_exp < m.exp else m.exp)
+                    for m in matches)
+        counters.results_produced += positives_out
+        return out
 
     def process(self, input_index: int, t: Tuple, now: float) -> list[Tuple]:
         self._advance(now)

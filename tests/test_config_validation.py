@@ -1,0 +1,84 @@
+"""Eager ExecutionConfig validation: bad knobs fail at construction time.
+
+Before this validation existed, an ``n_partitions=0`` config would compile
+fine and only blow up (with a ZeroDivisionError deep in the partitioned
+buffer) once the first STR subplan saw a tuple.  Every rejection below is
+asserted to (a) raise :class:`repro.errors.ConfigError`, (b) happen at
+``ExecutionConfig(...)`` call time, not at compile or run time, and (c)
+carry an actionable message.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExecutionConfig, Mode
+from repro.errors import ConfigError, PlanError, ReproError
+
+
+class TestRejections:
+    def test_n_partitions_zero(self):
+        with pytest.raises(ConfigError, match="n_partitions must be >= 1"):
+            ExecutionConfig(n_partitions=0)
+
+    def test_n_partitions_negative(self):
+        with pytest.raises(ConfigError, match="got -3"):
+            ExecutionConfig(n_partitions=-3)
+
+    def test_lazy_interval_zero(self):
+        with pytest.raises(ConfigError, match="lazy_interval must be "
+                                              "positive"):
+            ExecutionConfig(lazy_interval=0.0)
+
+    def test_lazy_interval_negative(self):
+        with pytest.raises(ConfigError, match="lazy_interval"):
+            ExecutionConfig(lazy_interval=-1.5)
+
+    @pytest.mark.parametrize("frequency", [-0.01, 1.01, 7.0])
+    def test_premature_frequency_out_of_range(self, frequency):
+        with pytest.raises(ConfigError, match=r"premature_frequency must "
+                                              r"lie in \[0, 1\]"):
+            ExecutionConfig(premature_frequency=frequency)
+
+    def test_mode_must_be_a_mode(self):
+        with pytest.raises(ConfigError, match="mode must be a Mode"):
+            ExecutionConfig(mode="upa")  # the string, not the enum
+
+    def test_unknown_str_storage(self):
+        with pytest.raises(ConfigError, match="unknown str_storage"):
+            ExecutionConfig(str_storage="sideways")
+
+
+class TestAccepted:
+    def test_defaults_are_valid(self):
+        config = ExecutionConfig()
+        assert config.n_partitions >= 1
+
+    def test_boundary_values_accepted(self):
+        ExecutionConfig(n_partitions=1)
+        ExecutionConfig(premature_frequency=0.0)
+        ExecutionConfig(premature_frequency=1.0)
+        ExecutionConfig(lazy_interval=0.001)
+        for mode in Mode:
+            ExecutionConfig(mode=mode)
+
+    def test_lazy_interval_none_means_auto(self):
+        assert ExecutionConfig(lazy_interval=None).lazy_interval is None
+
+
+class TestHierarchy:
+    """ConfigError slots into the existing exception ladder so callers that
+    caught PlanError for bad configs (the old compile-time behaviour) keep
+    working."""
+
+    def test_config_error_is_a_plan_error(self):
+        assert issubclass(ConfigError, PlanError)
+        assert issubclass(ConfigError, ReproError)
+
+    def test_catchable_as_plan_error(self):
+        with pytest.raises(PlanError):
+            ExecutionConfig(n_partitions=0)
+
+    def test_message_names_the_paper_context(self):
+        with pytest.raises(ConfigError, match="Figure 7"):
+            ExecutionConfig(n_partitions=0)

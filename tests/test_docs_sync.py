@@ -65,6 +65,19 @@ class TestReadmeQuickstart:
         exec(compile(blocks[0], "README-multi-query", "exec"), namespace)
         assert "shared×" in namespace["group"].explain()
 
+    def test_sharded_quickstart_runs(self):
+        """The --shards snippet is self-contained, correct, and really
+        runs the sharded path (not a fallback)."""
+        blocks = [b for b in re.findall(r"```python\n(.*?)```", self.README,
+                                        re.S) if "shards=" in b]
+        assert blocks, "README lost its sharded-execution quickstart"
+        namespace: dict = {}
+        exec(compile(blocks[0], "README-sharded", "exec"), namespace)
+        result = namespace["result"]
+        assert result.shards == 2
+        assert result.fallback_reason is None
+        assert "-- sharding: partitionable" in namespace["query"].explain()
+
     def test_cli_examples_reference_real_subcommands(self):
         from repro.cli import main
         import pytest as _pytest
