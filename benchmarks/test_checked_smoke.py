@@ -1,0 +1,69 @@
+"""Smoke coverage for checked execution on the benchmark workload.
+
+Runs the E1–E5 query set (Section 6.1) under ``checked=True`` on a small
+trace and asserts the sanitizer's contract end to end: identical answers
+and counters, every monitor armed, and zero lint diagnostics on the
+pipelines the benchmarks execute.  The full transparency/sensitivity
+matrix lives in ``tests/test_checked_execution.py``; the measured
+overhead numbers are recorded in RESULTS.md (``checked`` section).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ContinuousQuery, ExecutionConfig, Mode
+from repro.analysis.planlint import lint_compiled
+from repro.workloads import (
+    TrafficConfig,
+    TrafficTraceGenerator,
+    query1,
+    query2,
+    query3,
+    query4,
+)
+
+SMOKE_TRAFFIC = TrafficConfig(n_links=4, n_src_ips=40, seed=7)
+WINDOW = 20
+N_EVENTS = 300
+
+#: The E1–E5 plan set (E1/E2 are the two Query 1 predicates).
+E_QUERIES = {
+    "e1_q1_ftp": lambda gen: query1(gen, WINDOW, "ftp"),
+    "e2_q1_telnet": lambda gen: query1(gen, WINDOW, "telnet"),
+    "e3_q2_distinct": lambda gen: query2(gen, WINDOW),
+    "e4_q3_negation": lambda gen: query3(gen, WINDOW),
+    "e5_q4_distinct_join": lambda gen: query4(gen, WINDOW),
+}
+
+
+def _events():
+    return list(TrafficTraceGenerator(SMOKE_TRAFFIC).events(N_EVENTS))
+
+
+def _run(name, checked, batch=None):
+    gen = TrafficTraceGenerator(SMOKE_TRAFFIC)
+    plan = E_QUERIES[name](gen)
+    query = ContinuousQuery(plan, ExecutionConfig(mode=Mode.UPA,
+                                                  checked=checked))
+    result = query.run(iter(_events()), batch=batch)
+    return query, result
+
+
+@pytest.mark.parametrize("name", sorted(E_QUERIES))
+@pytest.mark.parametrize("batch", [None, 32])
+def test_checked_matches_unchecked(name, batch):
+    _plain_q, plain = _run(name, checked=False, batch=batch)
+    checked_q, checked = _run(name, checked=True, batch=batch)
+    assert checked.events_processed == N_EVENTS
+    assert checked.answer() == plain.answer()
+    assert checked.counters.snapshot() == plain.counters.snapshot()
+    sanitizer = checked_q.compiled.sanitizer
+    assert sanitizer is not None and sanitizer.monitored_ops > 0
+
+
+@pytest.mark.parametrize("name", sorted(E_QUERIES))
+def test_benchmark_pipelines_lint_clean(name):
+    query, _result = _run(name, checked=True)
+    report = lint_compiled(query.compiled)
+    assert report.ok and not report.diagnostics, report.render()

@@ -1,0 +1,293 @@
+"""Checked execution: runtime conformance monitors for update patterns.
+
+``ExecutionConfig(checked=True)`` (CLI ``--checked``) arms this module.  At
+compile time every operator state buffer and the result view's buffer are
+wrapped in a :class:`MonitoredBuffer`, and every physical operator's
+``process`` / ``process_batch`` / ``expire`` entry points are wrapped with
+an emission monitor.  Together they assert, on every tuple, the invariants
+the declared update patterns promise (Section 3.1 / 5.2):
+
+* **FIFO expiration for WKS** — state fed by a MONOTONIC/WKS edge must be
+  inserted in non-decreasing ``exp`` order (expiry = generation order), and
+  its expirations must leave in that same order;
+* **exp-exact expiration for WK** — a purge may only remove tuples whose
+  ``exp`` has passed, and state fed by a non-STR edge must never receive a
+  premature (negative-tuple) deletion under direct-style execution;
+* **negative-tuple provenance for STR** — an operator may emit negative
+  tuples only if its output edge is strict non-monotonic or it runs
+  negative-tuple style (NT mode, or the hybrid region above a negation);
+* **counter conservation** — for every monitored buffer, at drain time
+  ``inserts == expirations + deletions + live``: a structure that loses or
+  duplicates tuples is caught even if no individual operation misbehaved.
+
+Violations raise :class:`repro.errors.PatternViolation` naming the operator
+and the offending tuple — failing fast at the first non-conforming step
+instead of corrupting answers silently.  The monitors never touch the
+shared :class:`~repro.core.metrics.Counters`, so checked runs produce
+byte-identical answers, output streams and counter values (asserted by the
+equivalence tests); only wall-clock time changes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable, Iterator
+
+from ..buffers.base import StateBuffer
+from ..core.patterns import STR, UpdatePattern
+from ..core.tuples import Tuple
+from ..errors import PatternViolation
+
+
+class SanitizerState:
+    """Mutable context shared by all monitors of one compiled pipeline."""
+
+    __slots__ = ("now",)
+
+    def __init__(self) -> None:
+        self.now: float = -math.inf
+
+
+class MonitoredBuffer(StateBuffer):
+    """A pattern-conformance proxy around any :class:`StateBuffer`.
+
+    Mutations are checked against the update pattern of the feeding edge;
+    reads (``probe``/``live``/iteration) delegate directly to the inner
+    buffer so counter charges are identical to unchecked execution.
+    """
+
+    def __init__(self, inner: StateBuffer, pattern: UpdatePattern,
+                 label: str, nt_style: bool, state: SanitizerState):
+        # Deliberately no super().__init__: the proxy owns no counters and
+        # no key index of its own — everything lives in ``inner``.
+        self.inner = inner
+        self.pattern = pattern
+        self.label = label
+        self.nt_style = nt_style
+        self.state = state
+        self.inserted = 0
+        self.expired = 0
+        self.deleted = 0
+        self._last_exp = -math.inf
+
+    # -- monitored mutations -------------------------------------------------
+
+    def _check_insert(self, t: Tuple) -> None:
+        if t.is_negative:
+            raise PatternViolation(
+                f"{self.label}: negative tuple {t!r} was inserted as state; "
+                "negatives delete, they are never stored")
+        if self.pattern.expiration_is_fifo:
+            if t.exp < self._last_exp:
+                raise PatternViolation(
+                    f"{self.label}: non-FIFO insertion into {self.pattern} "
+                    f"state — {t!r} expires at {t.exp}, before the already "
+                    f"stored tail ({self._last_exp}); WKS expirations must "
+                    "follow generation order (Section 3.1)")
+            self._last_exp = t.exp
+
+    def insert(self, t: Tuple) -> None:
+        self._check_insert(t)
+        self.inserted += 1
+        self.inner.insert(t)
+
+    def insert_many(self, tuples: Iterable[Tuple]) -> None:
+        tuples = list(tuples)
+        for t in tuples:
+            self._check_insert(t)
+        self.inserted += len(tuples)
+        self.inner.insert_many(tuples)
+
+    def delete(self, t: Tuple) -> bool:
+        if self.pattern is not STR:
+            if not self.nt_style:
+                raise PatternViolation(
+                    f"{self.label}: premature deletion of {t!r} from state "
+                    f"fed by a {self.pattern} edge under direct-style "
+                    "execution; non-STR expirations are fully determined by "
+                    "exp timestamps and never arrive as negative tuples "
+                    "(Section 3.1)")
+            if t.exp > self.state.now:
+                raise PatternViolation(
+                    f"{self.label}: negative tuple for {t!r} deletes state "
+                    f"on a {self.pattern} edge before its expiry "
+                    f"(exp {t.exp} > now {self.state.now}); only STR edges "
+                    "may expire prematurely")
+        found = self.inner.delete(t)
+        if found:
+            self.deleted += 1
+        return found
+
+    def delete_by_key(self, key: Hashable) -> Tuple | None:
+        """Hash-buffer extra (used by tests/tools): keep conservation."""
+        t = self.inner.delete_by_key(key)
+        if t is not None:
+            self.deleted += 1
+        return t
+
+    def purge_expired(self, now: float) -> list[Tuple]:
+        if now > self.state.now:
+            self.state.now = now
+        purged = self.inner.purge_expired(now)
+        last = -math.inf
+        fifo = self.pattern.expiration_is_fifo
+        for t in purged:
+            if t.exp > now:
+                raise PatternViolation(
+                    f"{self.label}: purge at clock {now} expired the live "
+                    f"tuple {t!r} (exp {t.exp}); expirations must be "
+                    "exp-timestamp-exact")
+            if fifo:
+                if t.exp < last:
+                    raise PatternViolation(
+                        f"{self.label}: {self.pattern} state expired out of "
+                        f"FIFO order — {t!r} (exp {t.exp}) left after a "
+                        f"tuple expiring at {last}")
+                last = t.exp
+        self.expired += len(purged)
+        return purged
+
+    def verify_drain(self) -> None:
+        """Counter conservation: inserts = expirations + deletions + live."""
+        live = len(self.inner)
+        if self.inserted != self.expired + self.deleted + live:
+            raise PatternViolation(
+                f"{self.label}: counter conservation failed at drain — "
+                f"{self.inserted} inserts != {self.expired} expirations + "
+                f"{self.deleted} deletions + {live} live tuples; the "
+                "structure lost or duplicated state")
+
+    # -- delegated reads (identical counter charges) --------------------------
+
+    def next_expiry(self, now: float) -> float:
+        return self.inner.next_expiry(now)
+
+    def probe(self, key: Hashable, now: float) -> list[Tuple]:
+        return self.inner.probe(key, now)
+
+    def probe_all(self, key: Hashable) -> list[Tuple]:
+        return self.inner.probe_all(key)
+
+    def live(self, now: float) -> Iterator[Tuple]:
+        return self.inner.live(now)
+
+    def _bucket(self, key: Hashable) -> Iterable[Tuple]:
+        return self.inner._bucket(key)
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self.inner)
+
+    @property
+    def counters(self):  # type: ignore[override]
+        return self.inner.counters
+
+    @counters.setter
+    def counters(self, value) -> None:
+        self.inner.counters = value
+
+    @property
+    def has_index(self) -> bool:
+        return self.inner.has_index
+
+    def __getattr__(self, name: str):
+        # Structure-specific extras (oldest, partition_sizes, delete_by_key,
+        # span, n_partitions, _key_of ...) pass straight through.
+        return getattr(self.inner, name)
+
+    def __repr__(self) -> str:
+        return f"Monitored({self.inner!r}, pattern={self.pattern})"
+
+
+class Sanitizer:
+    """Registry of all monitors attached to one compiled pipeline."""
+
+    def __init__(self) -> None:
+        self.state = SanitizerState()
+        self.buffers: list[MonitoredBuffer] = []
+        self.monitored_ops = 0
+
+    def wrap_buffer(self, buffer: StateBuffer, pattern: UpdatePattern,
+                    label: str, nt_style: bool) -> MonitoredBuffer:
+        """Wrap ``buffer`` in a conformance proxy and register it for the
+        drain-time conservation check.  ``pattern`` is the update pattern of
+        the edge feeding the buffer; ``nt_style`` says whether the owning
+        operator runs negative-tuple style (which legalizes deletions on
+        non-STR edges, provided they are expiration-driven)."""
+        monitored = MonitoredBuffer(buffer, pattern, label, nt_style,
+                                    self.state)
+        self.buffers.append(monitored)
+        return monitored
+
+    def wrap_operator(self, op, label: str, negatives_allowed: bool) -> None:
+        """Intercept the operator's emission points with a provenance
+        monitor (instance-attribute shadowing: the class stays untouched,
+        the executor's attribute lookups find the wrapper)."""
+        state = self.state
+
+        def check(outputs, now):
+            if now > state.now:
+                state.now = now
+            if not negatives_allowed:
+                for t in outputs:
+                    if t.is_negative:
+                        raise PatternViolation(
+                            f"{label}: emitted the negative tuple {t!r}, "
+                            "but its output edge is not strict "
+                            "non-monotonic and it does not run "
+                            "negative-tuple style; negative tuples may "
+                            "only originate from STR subplans "
+                            "(Section 3.1)")
+            return outputs
+
+        orig_process = op.process
+        orig_batch = op.process_batch
+        orig_expire = op.expire
+
+        def process(input_index, t, now, _orig=orig_process, _check=check):
+            return _check(_orig(input_index, t, now), now)
+
+        def process_batch(input_index, tuples, now,
+                          _orig=orig_batch, _check=check):
+            return _check(_orig(input_index, tuples, now), now)
+
+        def expire(now, _orig=orig_expire, _check=check):
+            return _check(_orig(now), now)
+
+        op.process = process
+        op.process_batch = process_batch
+        op.expire = expire
+        for hook in ("on_relation_insert", "on_relation_delete"):
+            orig = getattr(op, hook, None)
+            if orig is None:
+                continue
+            def relation_hook(values, now, _orig=orig, _check=check):
+                return _check(_orig(values, now), now)
+            setattr(op, hook, relation_hook)
+        self.monitored_ops += 1
+
+    def verify_drain(self) -> None:
+        """Assert counter conservation on every monitored buffer.
+
+        Called once per run (and per shard replica / shared producer) after
+        the event stream is exhausted.
+        """
+        for monitored in self.buffers:
+            monitored.verify_drain()
+
+    def __repr__(self) -> str:
+        return (f"Sanitizer(buffers={len(self.buffers)}, "
+                f"ops={self.monitored_ops})")
+
+
+def verify_drain(compiled) -> None:
+    """Module-level convenience: verify a compiled pipeline's sanitizer,
+    silently a no-op for unchecked pipelines."""
+    sanitizer = getattr(compiled, "sanitizer", None)
+    if sanitizer is not None:
+        sanitizer.verify_drain()
+
+
+__all__ = ["MonitoredBuffer", "Sanitizer", "SanitizerState", "verify_drain"]

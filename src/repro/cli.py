@@ -66,7 +66,8 @@ def _cmd_run(args) -> int:
     plan = compile_query(args.query, catalog)
     config = ExecutionConfig(mode=Mode(args.mode),
                              n_partitions=args.partitions,
-                             str_storage=args.str_storage)
+                             str_storage=args.str_storage,
+                             checked=args.checked)
     query = ContinuousQuery(plan, config)
     if args.explain:
         print(query.explain())
@@ -95,7 +96,8 @@ def _cmd_run_group(args) -> int:
     catalog = _build_catalog(args)
     config = ExecutionConfig(mode=Mode(args.mode),
                              n_partitions=args.partitions,
-                             str_storage=args.str_storage)
+                             str_storage=args.str_storage,
+                             checked=args.checked)
     group = QueryGroup(shared=not args.independent)
     for index, text in enumerate(args.queries, start=1):
         group.add_text(f"q{index}", text, catalog, config)
@@ -147,6 +149,40 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """Run the static rule catalogue over a query's plan.
+
+    Exit status 0 when no error-severity diagnostic fired (warnings are
+    advisory), 1 otherwise.  With ``--mode`` the plan is also compiled and
+    the physical buffer-choice and sharding-consistency rules run against
+    the pipeline the engine would actually execute.
+    """
+    from .analysis.planlint import lint, lint_compiled
+    from .core.sharding import analyze_partitionability
+    from .engine.strategies import compile_plan
+    from .errors import PlanError
+
+    catalog = _build_catalog(args)
+    plan = compile_query(args.query, catalog)
+    config = ExecutionConfig(mode=Mode(args.mode),
+                             n_partitions=args.partitions,
+                             str_storage=args.str_storage)
+    try:
+        compiled = compile_plan(plan, config)
+    except PlanError as error:
+        # The plan is invalid under this strategy (e.g. negation under
+        # DIRECT): still lint the logical plan, then report the rejection.
+        report = lint(plan, config)
+        print(report.render())
+        print(f"compilation under mode={args.mode} rejected the plan: "
+              f"{error}")
+        return 0 if report.ok else 1
+    verdict = analyze_partitionability(plan)
+    report = lint_compiled(compiled, claimed_sharding=verdict)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_validate(args) -> int:
     """Check Definition 1 after every event of the trace (test oracle)."""
     from .testing import EquivalenceError, check_plan
@@ -171,6 +207,14 @@ def _add_catalog_options(parser: argparse.ArgumentParser) -> None:
                         help="custom stream schemas, e.g. quotes:symbol,price")
     parser.add_argument("--mode", choices=[m.value for m in Mode],
                         default="upa", help="execution strategy")
+
+
+def _add_checked_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--checked", action="store_true",
+                        help="checked execution: wrap every state buffer "
+                             "and operator in pattern-conformance monitors "
+                             "(identical answers and counters; violations "
+                             "fail fast with PatternViolation)")
 
 
 def _add_shard_options(parser: argparse.ArgumentParser) -> None:
@@ -206,6 +250,7 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("--explain", action="store_true",
                      help="print the annotated plan before running")
     _add_catalog_options(run)
+    _add_checked_option(run)
     _add_shard_options(run)
     run.set_defaults(func=_cmd_run)
 
@@ -230,6 +275,7 @@ def main(argv: list[str] | None = None) -> int:
     run_group.add_argument("--explain", action="store_true",
                            help="print the fused group DAG before running")
     _add_catalog_options(run_group)
+    _add_checked_option(run_group)
     _add_shard_options(run_group)
     run_group.set_defaults(func=_cmd_run_group)
 
@@ -248,6 +294,16 @@ def main(argv: list[str] | None = None) -> int:
     explain.add_argument("query")
     _add_catalog_options(explain)
     explain.set_defaults(func=_cmd_explain)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically verify a query's plan against the rule catalogue")
+    lint.add_argument("query")
+    lint.add_argument("--partitions", type=int, default=10)
+    lint.add_argument("--str-storage", default="auto",
+                      choices=["auto", "partitioned", "negative"])
+    _add_catalog_options(lint)
+    lint.set_defaults(func=_cmd_lint)
 
     validate = sub.add_parser(
         "validate",

@@ -47,6 +47,7 @@ import time
 from itertools import islice
 from typing import Callable, Iterable, Sequence
 
+from ..analysis.sanitizer import verify_drain
 from ..core.tuples import Tuple
 from ..errors import ExecutionError
 from ..streams.relation import NRR
@@ -209,6 +210,9 @@ class Executor:
                     for event in chunk:
                         on_event(self, event)
         elapsed = time.perf_counter() - start
+        # Checked execution: assert counter conservation on every monitored
+        # buffer now that the event stream is exhausted (no-op otherwise).
+        verify_drain(self.compiled)
         return RunResult(self, elapsed, self._events_processed,
                          self._tuples_arrived)
 

@@ -27,6 +27,7 @@ import time
 from itertools import islice
 from typing import Iterable, Iterator, Mapping, Sequence
 
+from ..analysis.sanitizer import verify_drain
 from ..core.metrics import Counters
 from ..core.plan import LogicalNode
 from ..streams.stream import Arrival, Event
@@ -203,6 +204,12 @@ class QueryGroup:
                 arrivals += sum(
                     1 for event in chunk if isinstance(event, Arrival))
         elapsed = time.perf_counter() - start
+        # Checked execution: assert counter conservation on every member
+        # pipeline and every shared producer (no-op for unchecked configs).
+        for name in self.names():
+            verify_drain(self[name].compiled)
+        for producer in self.shared_producers():
+            verify_drain(producer.compiled)
         return GroupRunResult(self, elapsed, n, arrivals)
 
     def answers(self) -> dict[str, dict]:

@@ -59,13 +59,18 @@ class ContinuousQuery:
 
     def explain(self) -> str:
         """The annotated plan as an indented tree (Figure 6, textually),
-        plus a sharding marker: either the per-stream routing keys a
-        parallel run would use, or the reason the plan cannot be sharded."""
+        plus a sharding marker — the per-stream routing keys a parallel
+        run would use, or the reason the plan cannot be sharded — and a
+        lint verdict from the static rule catalogue
+        (:mod:`repro.analysis.planlint`)."""
+        from ..analysis.planlint import lint_compiled
         from ..core.sharding import analyze_partitionability
 
         tree = explain(self.plan, self.compiled.annotated)
         verdict = analyze_partitionability(self.plan)
-        return f"{tree}\n-- sharding: {verdict.describe()}"
+        report = lint_compiled(self.compiled, claimed_sharding=verdict)
+        return (f"{tree}\n-- sharding: {verdict.describe()}"
+                f"\n-- lint: {report.summary()}")
 
     @property
     def mode(self) -> Mode:

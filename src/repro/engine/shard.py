@@ -72,6 +72,7 @@ from ..core.sharding import (
 from ..core.tuples import Tuple
 from ..errors import ExecutionError
 from ..streams.stream import Arrival, Event, RelationUpdate, Tick
+from ..analysis.sanitizer import verify_drain
 from .executor import Executor
 from .strategies import ExecutionConfig, compile_plan
 
@@ -324,6 +325,11 @@ class _SerialShards:
         return outputs
 
     def finish(self) -> list[_ShardFinal]:
+        for executor in self.executors:
+            # Checked execution: each replica owns its own sanitizer (the
+            # replicas are driven through process_batch, not run()), so the
+            # drain-time conservation check must run here.
+            verify_drain(executor.compiled)
         return [
             _ShardFinal(executor.answer(),
                         executor.compiled.counters.snapshot(),
@@ -362,6 +368,9 @@ def _shard_worker_main(conn, plan: LogicalNode, config: ExecutionConfig,
                         process(event)
                 conn.send(("out", _encode_outputs(collector.drain())))
             elif tag == "finish":
+                # Checked execution: violations raised here propagate to the
+                # parent as an ("err", ...) reply via the handler below.
+                verify_drain(executor.compiled)
                 conn.send((
                     "fin",
                     list(executor.answer().items()),
@@ -684,6 +693,8 @@ class _SerialGroupShards:
     def finish(self) -> list[dict[str, tuple[Multiset, dict]]]:
         reports = []
         for replica in self.replicas:
+            for _name, executor in replica:
+                verify_drain(executor.compiled)
             reports.append({
                 name: (executor.answer(),
                        executor.compiled.counters.snapshot())
@@ -714,6 +725,8 @@ def _group_worker_main(conn, members, batch: int | None) -> None:
                             executor.process_event(event)
                 conn.send(("ok",))
             elif tag == "finish":
+                for _name, executor in replica:
+                    verify_drain(executor.compiled)
                 conn.send(("fin", [
                     (name, list(executor.answer().items()),
                      executor.compiled.counters.snapshot())

@@ -51,6 +51,7 @@ from ..core.plan import (
     Union,
     WindowScan,
 )
+from ..analysis.sanitizer import Sanitizer
 from ..core.tuples import deletion_key
 from ..errors import ConfigError, PlanError
 from ..operators.base import PhysicalOperator
@@ -106,6 +107,14 @@ class ExecutionConfig:
     #: (Section 1).  Compilation rejects such plans unless explicitly
     #: permitted (e.g. for bounded experiments).
     allow_unbounded_state: bool = False
+    #: Checked execution (CLI ``--checked``): arm the runtime conformance
+    #: monitors of :mod:`repro.analysis.sanitizer`.  Every state buffer and
+    #: result view is wrapped in a pattern-conformance proxy and every
+    #: operator's emission points are monitored; a violation of the declared
+    #: update patterns raises :class:`repro.errors.PatternViolation` instead
+    #: of silently corrupting answers.  Answers, output streams and counters
+    #: are byte-identical to unchecked runs.
+    checked: bool = False
 
     def __post_init__(self) -> None:
         if not isinstance(self.mode, Mode):
@@ -132,6 +141,17 @@ class ExecutionConfig:
             raise ConfigError(
                 f"unknown str_storage {self.str_storage!r} (valid: "
                 f"{STR_AUTO!r}, {STR_PARTITIONED!r}, {STR_NEGATIVE!r})")
+        if not isinstance(self.checked, bool):
+            raise ConfigError(
+                f"checked must be a bool, got {self.checked!r} (it arms the "
+                "runtime conformance monitors of checked execution)")
+        if self.checked and self.allow_unbounded_state:
+            raise ConfigError(
+                "checked=True is incompatible with allow_unbounded_state="
+                "True: the conformance monitors assert expiration "
+                "invariants (FIFO order, exp-exactness, drain-time counter "
+                "conservation) that are vacuous for never-expiring state — "
+                "combining the two indicates a configuration mistake")
 
     def resolved_str_storage(self) -> str:
         """The STR scheme after resolving ``auto`` (Section 5.3.2's rule)."""
@@ -165,6 +185,8 @@ class CompiledQuery:
         self.time_domain = "time"
         self.count_stream: str | None = None
         self.max_span: float | None = None
+        #: Armed (non-None) only under ``ExecutionConfig(checked=True)``.
+        self.sanitizer: Sanitizer | None = None
 
     def route_of(self, op: PhysicalOperator) -> list[tuple[PhysicalOperator, int]]:
         return self.routes[id(op)]
@@ -190,6 +212,8 @@ def compile_plan(root: LogicalNode, config: ExecutionConfig,
     annotated = annotate(root)
     _validate(root, annotated, config)
     compiled = CompiledQuery(root, annotated, config, counters)
+    if config.checked:
+        compiled.sanitizer = Sanitizer()
     _inspect_windows(root, compiled)
 
     hybrid = (
@@ -323,10 +347,16 @@ def _build_node(node: LogicalNode, compiled: CompiledQuery,
     counters = compiled.counters
     mode = config.mode
     nt_style = mode is Mode.NT or (hybrid and id(node) not in direct_region)
+    sanitizer = compiled.sanitizer
 
-    def buffer_for(pattern: UpdatePattern, key_of) -> StateBuffer:
-        return _make_buffer(pattern, key_of, nt_style, mode, config,
-                            compiled.max_span, counters)
+    def buffer_for(pattern: UpdatePattern, key_of,
+                   slot: str = "state") -> StateBuffer:
+        buffer = _make_buffer(pattern, key_of, nt_style, mode, config,
+                              compiled.max_span, counters)
+        if sanitizer is not None:
+            buffer = sanitizer.wrap_buffer(
+                buffer, pattern, f"{node.describe()}[{slot}]", nt_style)
+        return buffer
 
     op: PhysicalOperator
 
@@ -338,6 +368,13 @@ def _build_node(node: LogicalNode, compiled: CompiledQuery,
         compiled.leaf_bindings.setdefault(node.stream.name, []).append(op)
         if materialize:
             compiled.expire_ops.append(op)
+            if sanitizer is not None:
+                # The window's own store is built inside the operator; wrap
+                # it post-hoc (the executor's batched fast path reaches the
+                # store through this same instance attribute).
+                op._store = sanitizer.wrap_buffer(
+                    op._store, annotated.pattern_of(node),
+                    f"{node.describe()}[window]", nt_style)
 
     elif isinstance(node, SharedScan):
         # Fan-in port for a shared producer's output stream; transparent
@@ -367,8 +404,8 @@ def _build_node(node: LogicalNode, compiled: CompiledQuery,
         rp = annotated.pattern_of(node.right)
         op = JoinOp(
             node.schema, li, ri,
-            buffer_for(lp, lambda t, i=li: t.values[i]),
-            buffer_for(rp, lambda t, i=ri: t.values[i]),
+            buffer_for(lp, lambda t, i=li: t.values[i], "left"),
+            buffer_for(rp, lambda t, i=ri: t.values[i], "right"),
             counters,
         )
         compiled.lazy_ops.append(op)
@@ -377,8 +414,8 @@ def _build_node(node: LogicalNode, compiled: CompiledQuery,
         lp = annotated.pattern_of(node.children[0])
         rp = annotated.pattern_of(node.children[1])
         values_of = lambda t: t.values  # noqa: E731
-        op = IntersectOp(node.schema, buffer_for(lp, values_of),
-                         buffer_for(rp, values_of), counters)
+        op = IntersectOp(node.schema, buffer_for(lp, values_of, "left"),
+                         buffer_for(rp, values_of, "right"), counters)
         compiled.lazy_ops.append(op)
 
     elif isinstance(node, DupElim):
@@ -394,13 +431,13 @@ def _build_node(node: LogicalNode, compiled: CompiledQuery,
         )
         if use_delta:
             op = DupElimDeltaOp(node.schema,
-                                buffer_for(out_pattern, values_of),
+                                buffer_for(out_pattern, values_of, "output"),
                                 counters)
         else:
             op = DupElimStandardOp(
                 node.schema,
-                buffer_for(pattern, values_of),
-                buffer_for(out_pattern, values_of),
+                buffer_for(pattern, values_of, "input"),
+                buffer_for(out_pattern, values_of, "output"),
                 counters,
             )
             compiled.lazy_ops.append(op)
@@ -417,7 +454,7 @@ def _build_node(node: LogicalNode, compiled: CompiledQuery,
         pattern = annotated.pattern_of(node.child)
         values_of = lambda t: t.values  # noqa: E731
         op = GroupByOp(node.schema, key_idx, agg_kinds, agg_idx,
-                       buffer_for(pattern, values_of), counters)
+                       buffer_for(pattern, values_of, "input"), counters)
         if not nt_style:
             compiled.expire_ops.append(op)
 
@@ -450,7 +487,7 @@ def _build_node(node: LogicalNode, compiled: CompiledQuery,
         emit_all = nt_style
         op = RelationJoinOp(
             node.schema, node.relation, li, ri,
-            buffer_for(pattern, lambda t, i=li: t.values[i]),
+            buffer_for(pattern, lambda t, i=li: t.values[i], "window"),
             emit_all=emit_all, counters=counters,
         )
         compiled.relation_bindings.setdefault(node.relation.name, []).append(op)
@@ -462,6 +499,13 @@ def _build_node(node: LogicalNode, compiled: CompiledQuery,
 
     else:  # pragma: no cover - exhaustive over the algebra
         raise PlanError(f"no physical implementation for {node!r}")
+
+    if sanitizer is not None:
+        # Negative tuples may originate only from operators running
+        # negative-tuple style (NT mode, the hybrid region above a negation)
+        # or whose output edge is strict non-monotonic (Section 3.1).
+        negatives_allowed = nt_style or annotated.pattern_of(node) is STR
+        sanitizer.wrap_operator(op, node.describe(), negatives_allowed)
 
     compiled.ops[id(node)] = op
 
@@ -514,6 +558,13 @@ def _build_view(root: LogicalNode, compiled: CompiledQuery,
                 hybrid: bool) -> None:
     counters = compiled.counters
     pattern = annotated.output_pattern
+    sanitizer = compiled.sanitizer
+
+    def monitored(buffer: StateBuffer, nt_like: bool) -> StateBuffer:
+        """Wrap the result view's buffer when checked execution is armed."""
+        if sanitizer is None:
+            return buffer
+        return sanitizer.wrap_buffer(buffer, pattern, "result-view", nt_like)
 
     if isinstance(root, GroupBy):
         compiled.view = GroupView(len(root.keys), counters)
@@ -531,17 +582,20 @@ def _build_view(root: LogicalNode, compiled: CompiledQuery,
     mode = config.mode
     if mode is Mode.NT or (mode is Mode.UPA and pattern is STR
                            and config.resolved_str_storage() == STR_NEGATIVE):
-        compiled.view = BufferView(HashBuffer(deletion_key, counters),
-                                   purges=False, counters=counters)
+        compiled.view = BufferView(
+            monitored(HashBuffer(deletion_key, counters), nt_like=True),
+            purges=False, counters=counters)
         return
     if mode is Mode.DIRECT:
-        compiled.view = BufferView(ListBuffer(deletion_key, counters),
-                                   purges=True, counters=counters)
+        compiled.view = BufferView(
+            monitored(ListBuffer(deletion_key, counters), nt_like=False),
+            purges=True, counters=counters)
         return
     # UPA direct-style views.
     if pattern is WKS:
-        compiled.view = BufferView(FifoBuffer(deletion_key, counters),
-                                   purges=True, counters=counters)
+        compiled.view = BufferView(
+            monitored(FifoBuffer(deletion_key, counters), nt_like=False),
+            purges=True, counters=counters)
         return
     if compiled.max_span is None:
         # allow_unbounded_state runs: nothing expires, a list view suffices.
@@ -549,7 +603,9 @@ def _build_view(root: LogicalNode, compiled: CompiledQuery,
                                    purges=False, counters=counters)
         return
     compiled.view = BufferView(
-        PartitionedBuffer(compiled.max_span, config.n_partitions,
-                          deletion_key, counters),
+        monitored(
+            PartitionedBuffer(compiled.max_span, config.n_partitions,
+                              deletion_key, counters),
+            nt_like=False),
         purges=True, counters=counters,
     )

@@ -139,6 +139,16 @@ class PhysicalOperator:
         """Total number of tuples held in this operator's state buffers."""
         return 0
 
+    def state_buffers(self):
+        """Monitor/introspection hook: ``(label, buffer)`` pairs for every
+        state buffer this operator owns (``buffer`` may be None when a slot
+        is unused, e.g. a direct-mode window).  Consumed by the plan
+        linter's physical buffer rules and by checked execution's
+        conformance monitors, so neither needs to reach into private
+        attributes.  Stateless operators return the empty default.
+        """
+        return []
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(schema={list(self.schema.fields)})"
 

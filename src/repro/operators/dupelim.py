@@ -130,6 +130,9 @@ class DupElimStandardOp(PhysicalOperator):
     def state_size(self) -> int:
         return len(self._input) + len(self._output)
 
+    def state_buffers(self):
+        return [("input", self._input), ("output", self._output)]
+
     @property
     def buffers(self) -> tuple[StateBuffer, StateBuffer]:
         return (self._input, self._output)
@@ -226,6 +229,9 @@ class DupElimDeltaOp(PhysicalOperator):
 
     def state_size(self) -> int:
         return len(self._output) + len(self._aux)
+
+    def state_buffers(self):
+        return [("output", self._output)]
 
     @property
     def output_buffer(self) -> StateBuffer:

@@ -109,5 +109,8 @@ class GroupByOp(PhysicalOperator):
     def state_size(self) -> int:
         return len(self._input)
 
+    def state_buffers(self):
+        return [("input", self._input)]
+
     def group_count(self) -> int:
         return len(self._aggs)

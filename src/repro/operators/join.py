@@ -121,6 +121,9 @@ class JoinOp(PhysicalOperator):
     def state_size(self) -> int:
         return len(self._buffers[0]) + len(self._buffers[1])
 
+    def state_buffers(self):
+        return [("left", self._buffers[0]), ("right", self._buffers[1])]
+
     @property
     def buffers(self) -> tuple[StateBuffer, StateBuffer]:
         return self._buffers

@@ -128,6 +128,9 @@ class RelationJoinOp(PhysicalOperator):
     def state_size(self) -> int:
         return len(self._buffer)
 
+    def state_buffers(self):
+        return [("window", self._buffer)]
+
     @property
     def relation(self) -> Relation:
         return self._relation

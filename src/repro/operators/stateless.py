@@ -215,6 +215,9 @@ class WindowOp(PhysicalOperator):
     def state_size(self) -> int:
         return len(self._store) if self._store is not None else 0
 
+    def state_buffers(self):
+        return [("window", self._store)]
+
     def __repr__(self) -> str:
         mode = "NT" if self._store is not None else "direct"
         return f"WindowOp({self.name}, {self.window}, {mode})"

@@ -78,11 +78,23 @@ class TestReadmeQuickstart:
         assert result.fallback_reason is None
         assert "-- sharding: partitionable" in namespace["query"].explain()
 
+    def test_lint_quickstart_runs(self):
+        """The lint/--checked snippet is self-contained, lints clean, and
+        really runs under checked execution."""
+        blocks = [b for b in re.findall(r"```python\n(.*?)```", self.README,
+                                        re.S) if "lint(" in b]
+        assert blocks, "README lost its lint/checked quickstart"
+        namespace: dict = {}
+        exec(compile(blocks[0], "README-lint", "exec"), namespace)
+        assert namespace["report"].ok
+        assert namespace["query"].compiled.sanitizer is not None
+        assert "-- lint: clean" in namespace["query"].explain()
+
     def test_cli_examples_reference_real_subcommands(self):
         from repro.cli import main
         import pytest as _pytest
         for command in ("run", "generate", "explain", "validate",
-                        "run-group"):
+                        "run-group", "lint"):
             if f"python -m repro {command}" in self.README or True:
                 with _pytest.raises(SystemExit):
                     main([command, "--help"])

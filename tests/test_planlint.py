@@ -1,0 +1,205 @@
+"""Tests for the static plan linter (repro.analysis.planlint).
+
+Positive direction: every rule in the catalogue provably fires, using the
+constructed violations of ``tests/badplans``.  Negative direction: the
+paper's five queries — as written, as compiled under every mode, and as
+rewritten by the optimizer — lint clean, so the rules carry no false
+positives on the plans the engine actually runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from badplans import CORPUS, BadPlan
+from badplans.cases import WINDOW, _GEN
+
+from repro.analysis.planlint import lint, lint_compiled, lint_rewrite
+from repro.analysis.rules import ALL_RULES, PLAN_RULES, rederive_patterns
+from repro.cli import main
+from repro.core.annotate import annotate
+from repro.core.metrics import Counters
+from repro.core.optimizer import Optimizer
+from repro.core.plan import SharedScan, WindowScan
+from repro.core.sharding import analyze_partitionability
+from repro.engine.query import ContinuousQuery
+from repro.engine.strategies import ExecutionConfig, Mode, compile_plan
+from repro.errors import PlanError
+from repro.workloads import queries
+
+QUERY_BUILDERS = {
+    "query1": lambda: queries.query1(_GEN, WINDOW),
+    "query2": lambda: queries.query2(_GEN, WINDOW),
+    "query2_pairs": lambda: queries.query2(_GEN, WINDOW, pairs=True),
+    "query3": lambda: queries.query3(_GEN, WINDOW),
+    "query4": lambda: queries.query4(_GEN, WINDOW),
+    "query5_pullup": lambda: queries.query5_pullup(_GEN, WINDOW),
+    "query5_pushdown": lambda: queries.query5_pushdown(_GEN, WINDOW),
+}
+
+WARNING_RULES = {"DM501", "DM502"}
+
+
+# ---------------------------------------------------------------------------
+# Positive: every rule fires on its corpus case
+# ---------------------------------------------------------------------------
+
+class TestCorpus:
+    @pytest.mark.parametrize("case", CORPUS, ids=[c.name for c in CORPUS])
+    def test_target_rule_fires(self, case: BadPlan):
+        report = case.report()
+        fired = {d.rule for d in report.diagnostics}
+        assert case.rule in fired, (
+            f"{case.name} must trip {case.rule}; fired {sorted(fired)}")
+
+    @pytest.mark.parametrize("case", CORPUS, ids=[c.name for c in CORPUS])
+    def test_severity_matches_catalogue(self, case: BadPlan):
+        report = case.report()
+        hits = [d for d in report.diagnostics if d.rule == case.rule]
+        if case.rule in WARNING_RULES:
+            assert all(not d.is_error for d in hits)
+            assert report.ok, "dead-machinery warnings must not fail a plan"
+        else:
+            assert any(d.is_error for d in hits)
+            assert not report.ok
+
+    def test_corpus_covers_every_rule(self):
+        assert {c.rule for c in CORPUS} == set(ALL_RULES), (
+            "each rule in the catalogue needs a corpus case")
+
+    @pytest.mark.parametrize("case", CORPUS, ids=[c.name for c in CORPUS])
+    def test_diagnostics_render(self, case: BadPlan):
+        report = case.report()
+        text = report.render()
+        assert case.rule in text
+        for d in report.diagnostics:
+            assert d.severity.upper() in d.render()
+        assert case.rule in report.summary() or report.diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Negative: the paper's queries lint clean everywhere
+# ---------------------------------------------------------------------------
+
+class TestPaperQueriesClean:
+    @pytest.mark.parametrize("name", sorted(QUERY_BUILDERS))
+    def test_logical_plan_clean(self, name):
+        plan = QUERY_BUILDERS[name]()
+        report = lint(plan)
+        assert report.ok and not report.diagnostics, report.render()
+        assert report.rules_run == len(PLAN_RULES)
+
+    @pytest.mark.parametrize("name", sorted(QUERY_BUILDERS))
+    @pytest.mark.parametrize("mode", [Mode.NT, Mode.DIRECT, Mode.UPA])
+    def test_compiled_pipeline_clean(self, name, mode):
+        plan = QUERY_BUILDERS[name]()
+        config = ExecutionConfig(mode=mode)
+        try:
+            compiled = compile_plan(plan, config, Counters())
+        except PlanError:
+            assert mode is Mode.DIRECT  # strict plans reject DIRECT
+            return
+        verdict = analyze_partitionability(plan)
+        report = lint_compiled(compiled, claimed_sharding=verdict)
+        assert report.ok and not report.diagnostics, report.render()
+
+    @pytest.mark.parametrize("name", sorted(QUERY_BUILDERS))
+    def test_checked_pipeline_clean(self, name):
+        """The BUF rules must see *through* checked-mode monitor proxies."""
+        plan = QUERY_BUILDERS[name]()
+        config = ExecutionConfig(mode=Mode.UPA, checked=True)
+        compiled = compile_plan(plan, config, Counters())
+        report = lint_compiled(compiled)
+        assert report.ok and not report.diagnostics, report.render()
+
+    @pytest.mark.parametrize("name", sorted(QUERY_BUILDERS))
+    def test_rederivation_agrees_with_annotate(self, name):
+        """UP001's independent implementation of Rules 1-5 must agree with
+        the production annotator on every paper plan."""
+        plan = QUERY_BUILDERS[name]()
+        annotated = annotate(plan)
+        derived = rederive_patterns(plan)
+        for node in plan.walk():
+            assert annotated.pattern_of(node) is derived[id(node)]
+
+
+class TestOptimizerOutputsClean:
+    @pytest.mark.parametrize("name", sorted(QUERY_BUILDERS))
+    def test_every_ranked_candidate_passes_rewrite_lint(self, name):
+        plan = QUERY_BUILDERS[name]()
+        for ranked in Optimizer().rank(plan):
+            report = lint_rewrite(plan, ranked.plan)
+            assert report.ok, (
+                f"optimizer candidate for {name} failed lint:\n"
+                f"{report.render()}")
+
+
+# ---------------------------------------------------------------------------
+# Specific rule shapes not covered by the corpus one-per-rule mapping
+# ---------------------------------------------------------------------------
+
+class TestRuleDetails:
+    def test_up002_lag_mismatch_alone_fires(self):
+        """A cut with the right pattern but a wrong lag still lies: WKS/WK
+        decisions above it would diverge from the un-cut plan."""
+        source = WindowScan(_GEN.stream_def(0, WINDOW))
+        scan = SharedScan(source, annotate(source).pattern_of(source),
+                          fingerprint="bad-lag", lag=WINDOW * 7, label="S9")
+        report = lint(scan)
+        assert any(d.rule == "UP002" and "lag" in d.message
+                   for d in report.diagnostics), report.render()
+
+    def test_report_merge_and_summary(self):
+        clean = lint(QUERY_BUILDERS["query1"]())
+        dirty = CORPUS[0].report()
+        merged = clean.merged(dirty)
+        assert merged.rules_run == clean.rules_run + dirty.rules_run
+        assert len(merged.diagnostics) == len(dirty.diagnostics)
+        assert "clean" in clean.summary()
+        assert "error" in dirty.summary()
+
+
+# ---------------------------------------------------------------------------
+# Surfaces: explain footer and the repro lint CLI
+# ---------------------------------------------------------------------------
+
+class TestSurfaces:
+    def test_explain_carries_lint_footer(self):
+        query = ContinuousQuery(QUERY_BUILDERS["query1"](),
+                                ExecutionConfig(mode=Mode.UPA))
+        text = query.explain()
+        assert "-- lint: clean" in text
+
+    def test_cli_lint_clean_query(self, capsys):
+        code = main([
+            "lint",
+            "SELECT * FROM link0 [RANGE 50] JOIN link1 [RANGE 50]"
+            " ON src_ip = src_ip",
+            "--links", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "plan is clean" in out
+
+    def test_cli_lint_warns_on_dead_machinery(self, capsys):
+        """str_storage=negative on a negation-free query is advisory only:
+        the warning prints but the exit status stays 0."""
+        code = main([
+            "lint", "SELECT DISTINCT src_ip FROM link0 [RANGE 50]",
+            "--links", "1", "--str-storage", "negative",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "DM501" in out
+
+    def test_cli_lint_reports_direct_rejection(self, capsys):
+        """A strict plan under DIRECT cannot compile; the CLI still lints
+        the logical plan and reports the strategy rejection."""
+        code = main([
+            "lint",
+            "SELECT * FROM link0 [RANGE 50] MINUS link1 [RANGE 50]"
+            " ON src_ip",
+            "--links", "2", "--mode", "direct",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rejected the plan" in out
