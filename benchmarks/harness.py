@@ -4,22 +4,68 @@ Runs the requested experiments (or ``all``) and prints, for each, the table
 the corresponding figure of the paper plots: average execution time per 1000
 tuples (and deterministic state touches per tuple) for each strategy across
 window sizes.  ``--quick`` shrinks the window sweep for CI-sized runs.
+
+``--json-out DIR`` additionally writes one ``BENCH_<exp>.json`` document per
+experiment so the perf trajectory can be tracked across commits.  Each
+document carries the ``repro.bench/v1`` schema tag and one record per
+measurement row: :class:`~benchmarks.common.Measurement` results are emitted
+field-by-field; experiments that return bare tuples (e8, e10) are emitted as
+``{"row": [...]}``.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import os
 import sys
+import time
+
+BENCH_SCHEMA = "repro.bench/v1"
+
+
+def _bench_record(item: object) -> dict:
+    """Normalise one measurement row into a JSON-safe record."""
+    if dataclasses.is_dataclass(item) and not isinstance(item, type):
+        return dataclasses.asdict(item)
+    if isinstance(item, (tuple, list)):
+        return {"row": list(item)}
+    return {"value": item}
+
+
+def bench_document(exp: str, results: object, *, quick: bool,
+                   elapsed_seconds: float) -> dict:
+    """Build the ``BENCH_<exp>.json`` document for one experiment run."""
+    rows = results if isinstance(results, list) else []
+    return {
+        "schema": BENCH_SCHEMA,
+        "experiment": exp,
+        "quick": quick,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "elapsed_seconds": round(elapsed_seconds, 3),
+        "records": [_bench_record(item) for item in rows],
+    }
+
+
+def write_bench_json(directory: str, exp: str, document: dict) -> str:
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{exp}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Reproduce the paper's experiments (see DESIGN.md)")
     parser.add_argument("experiments", nargs="*", default=["all"],
-                        help="experiment ids (e1..e9) or 'all'")
+                        help="experiment ids (e1..e13) or 'all'")
     parser.add_argument("--quick", action="store_true",
                         help="small window sweep for CI-sized runs")
+    parser.add_argument("--json-out", metavar="DIR", default=None,
+                        help="write BENCH_<exp>.json records to DIR")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -37,7 +83,14 @@ def main(argv: list[str] | None = None) -> int:
                      f"choose from {sorted(EXPERIMENTS)} or 'all'")
 
     for exp in requested:
-        EXPERIMENTS[exp]()
+        started = time.perf_counter()
+        results = EXPERIMENTS[exp]()
+        elapsed = time.perf_counter() - started
+        if args.json_out is not None:
+            document = bench_document(exp, results, quick=args.quick,
+                                      elapsed_seconds=elapsed)
+            path = write_bench_json(args.json_out, exp, document)
+            print(f"  wrote {len(document['records'])} records to {path}")
     return 0
 
 

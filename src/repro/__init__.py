@@ -21,7 +21,18 @@ Quickstart::
 """
 
 from .core.annotate import AnnotatedPlan, annotate, explain, explain_dot
-from .core.metrics import Counters
+from .core.metrics import Counters, NullCounters
+from .engine.telemetry import (
+    METRICS_SCHEMA,
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+    NullRegistry,
+    metrics_document,
+    validate_metrics_document,
+    write_metrics_json,
+)
 from .core.patterns import MONOTONIC, STR, UpdatePattern, WK, WKS
 from .core.plan import (
     AggregateSpec,
@@ -115,6 +126,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnnotatedPlan", "annotate", "explain", "explain_dot", "Counters",
+    "NullCounters",
+    "METRICS_SCHEMA", "CounterMetric", "GaugeMetric", "HistogramMetric",
+    "MetricsRegistry", "NullRegistry", "metrics_document",
+    "validate_metrics_document", "write_metrics_json",
     "MONOTONIC", "STR", "UpdatePattern", "WK", "WKS",
     "AggregateSpec", "DupElim", "GroupBy", "Intersect", "Join",
     "LogicalNode", "Negation", "NRRJoin", "Predicate", "PredicateBuilder",

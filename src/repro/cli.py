@@ -61,13 +61,27 @@ def _report_sharding(result) -> None:
               f"{spread}")
 
 
+def _write_metrics(args, result, run_info: dict) -> None:
+    """Export the run's metrics registry as --metrics-out JSON."""
+    from .engine.telemetry import write_metrics_json
+
+    registry = (result.metrics() if callable(
+        getattr(result, "metrics", None)) else result.metrics)
+    if registry is None:
+        print("metrics: nothing to export (telemetry was not armed)")
+        return
+    series = write_metrics_json(args.metrics_out, registry, run_info)
+    print(f"metrics: wrote {series} series to {args.metrics_out}")
+
+
 def _cmd_run(args) -> int:
     catalog = _build_catalog(args)
     plan = compile_query(args.query, catalog)
     config = ExecutionConfig(mode=Mode(args.mode),
                              n_partitions=args.partitions,
                              str_storage=args.str_storage,
-                             checked=args.checked)
+                             checked=args.checked,
+                             telemetry=args.metrics_out is not None)
     query = ContinuousQuery(plan, config)
     if args.explain:
         print(query.explain())
@@ -81,6 +95,14 @@ def _cmd_run(args) -> int:
           f"({result.time_per_1000()*1000:.2f} ms / 1000 tuples, "
           f"{result.touches_per_tuple():.1f} state touches / tuple)")
     _report_sharding(result)
+    if args.metrics_out:
+        _write_metrics(args, result, {
+            "command": "run", "query": args.query, "mode": args.mode,
+            "batch": args.batch, "shards": args.shards,
+            "events": result.events_processed,
+            "tuples": result.tuples_arrived,
+            "elapsed_seconds": result.elapsed,
+        })
     print(f"{sum(answer.values())} live result tuple(s), "
           f"{len(answer)} distinct")
     shown = answer.most_common(args.top) if args.top else answer.items()
@@ -97,7 +119,8 @@ def _cmd_run_group(args) -> int:
     config = ExecutionConfig(mode=Mode(args.mode),
                              n_partitions=args.partitions,
                              str_storage=args.str_storage,
-                             checked=args.checked)
+                             checked=args.checked,
+                             telemetry=args.metrics_out is not None)
     group = QueryGroup(shared=not args.independent)
     for index, text in enumerate(args.queries, start=1):
         group.add_text(f"q{index}", text, catalog, config)
@@ -113,6 +136,15 @@ def _cmd_run_group(args) -> int:
           f"{regime} queries in {result.elapsed:.3f}s "
           f"({result.time_per_1000()*1000:.2f} ms / 1000 tuples)")
     _report_sharding(result)
+    if args.metrics_out:
+        _write_metrics(args, result, {
+            "command": "run-group", "queries": list(args.queries),
+            "mode": args.mode, "batch": args.batch, "shards": args.shards,
+            "shared": not args.independent,
+            "events": result.events_processed,
+            "tuples": result.tuples_arrived,
+            "elapsed_seconds": result.elapsed,
+        })
     touches = result.touches()
     if not args.independent:
         print(f"shared state: {group.shared_state_size()} tuples, "
@@ -217,6 +249,14 @@ def _add_checked_option(parser: argparse.ArgumentParser) -> None:
                              "fail fast with PatternViolation)")
 
 
+def _add_metrics_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="arm runtime telemetry and write the labeled "
+                             "metrics registry (per-operator timers, state "
+                             "gauges, shard decomposition) as JSON "
+                             "(schema repro.metrics/v1)")
+
+
 def _add_shard_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--shards", type=int, default=None, metavar="K",
                         help="run K key-routed shard pipelines in parallel "
@@ -252,6 +292,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_catalog_options(run)
     _add_checked_option(run)
     _add_shard_options(run)
+    _add_metrics_option(run)
     run.set_defaults(func=_cmd_run)
 
     run_group = sub.add_parser(
@@ -277,6 +318,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_catalog_options(run_group)
     _add_checked_option(run_group)
     _add_shard_options(run_group)
+    _add_metrics_option(run_group)
     run_group.set_defaults(func=_cmd_run_group)
 
     generate = sub.add_parser("generate",

@@ -48,7 +48,37 @@ class Counters:
         return f"Counters({inner})"
 
 
-#: Shared do-nothing sink for buffers created outside an engine run.  It is a
-#: real Counters instance, so standalone buffer usage still works; tests that
-#: care about counts pass their own instance.
-NULL_COUNTERS = Counters()
+class NullCounters(Counters):
+    """Write-discarding counter sink (the null-object pattern).
+
+    Buffers, operators and views created without an explicit
+    :class:`Counters` fall back to this sink.  Historically the fallback was
+    a shared *mutable* ``Counters`` instance, so every standalone buffer in
+    a process silently accumulated into the same bag — cross-contaminating
+    counts between unrelated buffers and between tests.  A null sink reads
+    as permanently zero and discards every write, so sharing one instance
+    is safe; callers that care about counts pass their own ``Counters``.
+    """
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        # The slots must exist for reads (`counters.touches += 1` reads
+        # before it writes); bypass the discarding __setattr__ once.
+        for name in Counters.__slots__:
+            object.__setattr__(self, name, 0)
+
+    def __setattr__(self, name: str, value) -> None:
+        if name not in Counters.__slots__:  # pragma: no cover - misuse guard
+            raise AttributeError(name)
+        # Discard: a null sink never accumulates.
+
+    def reset(self) -> None:
+        """Already permanently zero."""
+
+
+#: Shared do-nothing sink for buffers created outside an engine run.  Writes
+#: are discarded (see :class:`NullCounters`), so the shared instance cannot
+#: alias state between unrelated buffers; tests that care about counts pass
+#: their own :class:`Counters` instance.
+NULL_COUNTERS = NullCounters()

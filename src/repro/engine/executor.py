@@ -82,6 +82,12 @@ class RunResult:
         return self.view.snapshot(self.executor.now)
 
     @property
+    def metrics(self):
+        """The pipeline's :class:`~repro.engine.telemetry.MetricsRegistry`
+        (None unless compiled with ``ExecutionConfig(telemetry=True)``)."""
+        return self.executor.compiled.telemetry
+
+    @property
     def touches(self) -> int:
         return self.counters.touches
 
@@ -119,6 +125,10 @@ class RunResult:
 class Executor:
     """Drives a compiled query over an event sequence."""
 
+    #: True only while the (sampled) timed telemetry variants are installed;
+    #: a class-level default so the disabled path never allocates it.
+    _timing = False
+
     def __init__(self, compiled: CompiledQuery):
         self.compiled = compiled
         self.now: float = -math.inf
@@ -138,6 +148,13 @@ class Executor:
         if interval is None and span is not None:
             interval = 0.05 * span
         self._lazy_interval = interval
+        #: Telemetry (None when off).  When armed, the instrumented method
+        #: variants shadow the plain ones via instance attributes — the
+        #: disabled hot path keeps its original code with zero telemetry
+        #: branches or allocations.
+        self._telemetry = compiled.telemetry
+        if self._telemetry is not None:
+            self._install_telemetry()
 
     # -- public API ------------------------------------------------------------
 
@@ -169,6 +186,9 @@ class Executor:
         ``fallback_reason`` explains why.  Answers and per-instant output
         multisets are identical to unsharded execution.
         """
+        if (self._telemetry is not None
+                and "_expiration_pass" not in self.__dict__):
+            self._telemetry_arm()  # re-entry after a prior run's teardown
         if shards is not None and shards > 1:
             from .shard import ShardedExecutor, ShardedRunResult
             from ..core.sharding import analyze_partitionability
@@ -213,6 +233,8 @@ class Executor:
         # Checked execution: assert counter conservation on every monitored
         # buffer now that the event stream is exhausted (no-op otherwise).
         verify_drain(self.compiled)
+        if self._telemetry is not None:
+            self._record_run(elapsed)
         return RunResult(self, elapsed, self._events_processed,
                          self._tuples_arrived)
 
@@ -263,6 +285,12 @@ class Executor:
         counters = compiled.counters
         view = compiled.view
         subscribers = self._subscribers
+        # Telemetry: advance the duty cycle BEFORE hoisting so the bound
+        # methods below resolve to this batch's (timed or plain) variants.
+        # The default (telemetry off) pays one falsy attribute test per
+        # batch setup.
+        if self._telemetry is not None:
+            self._telemetry_advance()
         propagate = self._propagate_tracked
         propagate_route = self._propagate_route
         clock_for = self._clock_for
@@ -275,6 +303,10 @@ class Executor:
         fused_routes_for = self._fused_routes_for
         events_processed = self._events_processed
         tuples_arrived = self._tuples_arrived
+        # Timed batches only (1 in _timer_every): one local None-check per
+        # arrival-plan; untimed and disabled batches hoist a plain None.
+        op_timers = compiled.op_timers if self._timing else None
+        perf = time.perf_counter
         self._next_expiry = compute_next_expiry()
         try:
             for event in events:
@@ -299,11 +331,15 @@ class Executor:
                     if plans is None:
                         plans = fused_routes_for(event.stream)
                     for leaf, is_window, prefix, suffix in plans:
+                        if op_timers is not None:
+                            t0 = perf()
                         # ``now`` is already in the stamping domain (see
                         # _dispatch_arrival).
                         stamped = leaf.stamp(event.values, now, now)
                         if not is_window:  # unexpected leaf type: generic
                             outputs = leaf.process(0, stamped, now)
+                            if op_timers is not None:
+                                op_timers[id(leaf)].add(perf() - t0)
                             if outputs:
                                 propagate(leaf, outputs, now)
                             continue
@@ -337,6 +373,11 @@ class Executor:
                                 t = t.with_values(
                                     tuple(t.values[i] for i in arg))
                             # "pass": forward unchanged
+                        if op_timers is not None:
+                            # Fused mode attributes the stamp + insert +
+                            # inlined-prefix work to the leaf's timer; the
+                            # suffix route self-times via _propagate_route.
+                            op_timers[id(leaf)].add(perf() - t0)
                         if not alive:
                             continue
                         if suffix:
@@ -360,6 +401,10 @@ class Executor:
         # One amortized view purge per batch: timestamp purging emits no
         # output, so only its (deterministic) timing is batched.
         compiled.view.purge(self.now)
+        # State-depth sampling rides the timer duty cycle: one batch in
+        # _timer_every (plus the final sample in _record_run / finalizers).
+        if self._timing:
+            self._telemetry_sample()
 
     def answer(self):
         """Current result multiset Q(now)."""
@@ -562,3 +607,230 @@ class Executor:
                     (now - self._last_purge) / interval)
             else:  # degenerate non-positive interval: purge every event
                 self._last_purge = now
+
+    # -- telemetry ---------------------------------------------------------------
+    #
+    # Telemetry is opt-in (ExecutionConfig(telemetry=True)) and installed by
+    # *instance-attribute shadowing*: the class-level methods above stay
+    # pristine for the default disabled path, and an armed executor swaps
+    # the instrumented variants onto itself only.  The variants replicate
+    # the plain control flow exactly — in particular _propagate_route_timed
+    # keeps the expiration-boundary folding byte-for-byte — and add only
+    # perf_counter reads plus HistogramMetric.add calls, so answers, output
+    # streams and legacy counters are unchanged.
+    #
+    # Timers are *duty-cycled*: perf_counter pairs per operator stage are
+    # too expensive to take on every event in pure Python, so only one event
+    # (per-tuple mode) or one batch (micro-batch mode) in ``_timer_every``
+    # runs with the timed variants installed; the rest run the plain class
+    # methods.  Histograms therefore hold a uniform ~1/N sample of spans —
+    # relative per-operator cost is preserved while enabled overhead stays
+    # within the <5% budget (see benchmarks/overhead.py).  Counters, gauges
+    # and end-of-run totals are exact, never sampled.
+
+    def _install_telemetry(self) -> None:
+        registry = self._telemetry
+        compiled = self.compiled
+        self._pass_timer = registry.timer("expiration_pass_seconds")
+        self._pass_gauge = registry.gauge("expiration_pass_last_seconds")
+        self._view_gauge = registry.gauge("view_results")
+        self._state_gauge = registry.gauge("state_tuples_total")
+        self._state_peak = registry.gauge("state_tuples_peak")
+        self._samples = registry.counter("telemetry_samples_total")
+        self._sample_ops = [(op, compiled.op_state_gauges[id(op)])
+                            for op in compiled.ops.values()
+                            if id(op) in compiled.op_state_gauges]
+        #: Per-tuple mode samples state depths every N *timed* expiration
+        #: passes; batched mode samples once per timed batch.
+        self._sample_every = 32
+        self._sample_tick = 0
+        #: Timer duty cycle: 1 expiration pass (per-tuple mode; one runs
+        #: before every event) or batch (micro-batch mode) in N runs the
+        #: timed variants.  The countdown lives inside the cycled
+        #: expiration-pass shadow so untimed events pay exactly one extra
+        #: function call over the disabled path.
+        self._timer_every = 32
+        self._telemetry_arm()
+
+    def _telemetry_arm(self) -> None:
+        """Install the duty-cycling shadows (initially inside a timed
+        window).  The shadows are bound methods stored on the instance —
+        a reference cycle — so finalizers tear them down again
+        (:meth:`_telemetry_teardown`) to keep finished executors
+        refcount-collectable; ``run()`` re-arms on re-entry."""
+        self._timer_tick = 1  # first pass/batch is timed
+        self._telemetry_set(True)
+        # Installed for the armed lifetime; _telemetry_set never touches it.
+        self._expiration_pass = self._expiration_pass_cycled
+
+    def disarm_telemetry(self) -> None:
+        """Disarm telemetry on this executor: removes every instrumented
+        shadow and restores the pristine disabled hot path.  The registry
+        (``compiled.telemetry``) keeps whatever it has collected and stays
+        readable; it just stops growing.  Also the lever benchmarks use to
+        time the disabled code path under an armed executor's identical
+        heap layout (see benchmarks/overhead.py)."""
+        if self._telemetry is None:
+            return
+        self._telemetry_teardown()
+        self._telemetry = None
+
+    def _telemetry_teardown(self) -> None:
+        """Remove every instance-attribute shadow (they are bound methods,
+        i.e. executor → method → executor cycles) so a finished armed
+        executor is freed by reference counting like a disabled one."""
+        if self._timing:
+            self._telemetry_set(False)
+        self.__dict__.pop("_expiration_pass", None)
+
+    def _telemetry_set(self, timing: bool) -> None:
+        """Install (or remove) the timed method shadows for this window."""
+        if timing:
+            self._timing = True
+            self._propagate = self._propagate_timed
+            self._propagate_route = self._propagate_route_timed
+            self._dispatch_arrival = self._dispatch_arrival_timed
+        else:
+            self._timing = False
+            del self._propagate
+            del self._propagate_route
+            del self._dispatch_arrival
+
+    def _telemetry_advance(self) -> bool:
+        """Advance the timer duty cycle by one window; returns whether the
+        new window is a timed one.  Called once per micro-batch — plans
+        without eager state never run an expiration pass in batched mode,
+        so the cycled pass alone could not advance the cycle there."""
+        tick = self._timer_tick - 1
+        if tick > 0:
+            self._timer_tick = tick
+            if self._timing:
+                self._telemetry_set(False)
+            return False
+        self._timer_tick = self._timer_every
+        if not self._timing:
+            self._telemetry_set(True)
+        return True
+
+    def _expiration_pass_cycled(self, now: float) -> None:
+        """Duty-cycling shadow of _expiration_pass: runs the timed pass on
+        one call in _timer_every and the plain pass otherwise, toggling the
+        other timed shadows on the same cycle.  The untimed branch inlines
+        _expiration_pass's body rather than calling it: in per-tuple mode
+        this shadow runs once per event, and the saved call frame is the
+        difference between ~2% and ~7% enabled overhead on the cheapest
+        workloads (keep the two bodies in sync)."""
+        tick = self._timer_tick - 1
+        if tick > 0:
+            self._timer_tick = tick
+            if self._timing:
+                self._telemetry_set(False)
+            for op in self.compiled.expire_ops:
+                outputs = op.expire(now)
+                self._propagate(op, outputs, now)
+            self.compiled.view.purge(now)
+            return
+        self._timer_tick = self._timer_every
+        if not self._timing:
+            self._telemetry_set(True)
+        self._expiration_pass_timed(now)
+
+    def _propagate_timed(self, source: PhysicalOperator,
+                         outputs: list[Tuple], now: float) -> None:
+        if not outputs:
+            return
+        timers = self.compiled.op_timers
+        perf = time.perf_counter
+        t0 = perf()
+        for parent, slot in self.compiled.route_of(source):
+            outputs = parent.process_batch(slot, outputs, now)
+            t1 = perf()  # chained reads: N+1 clock calls for N stages
+            timers[id(parent)].add(t1 - t0)
+            t0 = t1
+            if not outputs:
+                return
+        self._deliver(outputs, now)
+
+    def _propagate_route_timed(self, route, outputs: list[Tuple],
+                               now: float) -> None:
+        # Exact replica of _propagate_route's boundary folding, with one
+        # timer charge per route stage.
+        timers = self.compiled.op_timers
+        perf = time.perf_counter
+        boundary = self._next_expiry
+        t0 = perf()
+        for parent, slot in route:
+            for t in outputs:
+                if t.exp < boundary:
+                    boundary = t.exp
+            outputs = parent.process_batch(slot, outputs, now)
+            t1 = perf()
+            timers[id(parent)].add(t1 - t0)
+            t0 = t1
+            if not outputs:
+                self._next_expiry = boundary
+                return
+        for t in outputs:
+            if t.exp < boundary:
+                boundary = t.exp
+        self._next_expiry = boundary
+        self._deliver(outputs, now)
+
+    def _expiration_pass_timed(self, now: float) -> None:
+        expire_timers = self.compiled.op_expire_timers
+        propagate = self._propagate  # the timed variant, via instance attr
+        perf = time.perf_counter
+        pass_start = perf()
+        for op in self.compiled.expire_ops:
+            t0 = perf()
+            outputs = op.expire(now)
+            expire_timers[id(op)].add(perf() - t0)
+            propagate(op, outputs, now)
+        self.compiled.view.purge(now)
+        elapsed = perf() - pass_start
+        self._pass_timer.add(elapsed)
+        self._pass_gauge.set(elapsed)
+        self._sample_tick += 1
+        if self._sample_tick >= self._sample_every:
+            self._sample_tick = 0
+            self._telemetry_sample()
+
+    def _dispatch_arrival_timed(self, event: Arrival, now: float,
+                                tracked: bool = False) -> None:
+        leaves = self.compiled.leaf_bindings.get(event.stream)
+        if not leaves:
+            return
+        timers = self.compiled.op_timers
+        perf = time.perf_counter
+        propagate = self._propagate_tracked if tracked else self._propagate
+        for leaf in leaves:
+            t0 = perf()
+            stamped = leaf.stamp(event.values, now, now)
+            outputs = leaf.process(0, stamped, now)
+            timers[id(leaf)].add(perf() - t0)
+            propagate(leaf, outputs, now)
+
+    def _telemetry_sample(self) -> None:
+        """Sample per-operator state depths and the result-view size.
+
+        Gauges hold the last sample (``set``) plus a high-water mark
+        (``set_max``); the sharded merge sums them, so totals decompose
+        across shards like every other metric.
+        """
+        total = 0
+        for op, gauge in self._sample_ops:
+            size = op.state_size()
+            gauge.set(size)
+            total += size
+        self._state_gauge.set(total)
+        self._state_peak.set_max(total)
+        self._view_gauge.set(len(self.compiled.view))
+        self._samples.inc()
+
+    def _record_run(self, elapsed: float) -> None:
+        registry = self._telemetry
+        registry.timer("run_seconds").add(elapsed)
+        registry.gauge("events_processed").set(self._events_processed)
+        registry.gauge("tuples_arrived").set(self._tuples_arrived)
+        self._telemetry_sample()
+        self._telemetry_teardown()

@@ -210,7 +210,24 @@ class QueryGroup:
             verify_drain(self[name].compiled)
         for producer in self.shared_producers():
             verify_drain(producer.compiled)
+        # Telemetry: members and producers are driven through
+        # process_event/process_batch, so the end-of-run bookkeeping that
+        # Executor.run performs happens here (no-op with telemetry off).
+        for name in self.names():
+            self._finalize_telemetry(self[name].executor)
+        for producer in self.shared_producers():
+            self._finalize_telemetry(producer.executor)
         return GroupRunResult(self, elapsed, n, arrivals)
+
+    @staticmethod
+    def _finalize_telemetry(executor) -> None:
+        registry = executor.compiled.telemetry
+        if registry is None:
+            return
+        executor._telemetry_sample()
+        registry.gauge("events_processed").set(executor._events_processed)
+        registry.gauge("tuples_arrived").set(executor.tuples_arrived)
+        executor._telemetry_teardown()
 
     def answers(self) -> dict[str, dict]:
         """Current answer multiset of every member query."""
@@ -296,6 +313,34 @@ class GroupRunResult:
     def total_touches(self) -> int:
         """All deterministic state touches: member residuals + shared."""
         return sum(self.touches().values()) + self.shared_touches()
+
+    def metrics(self):
+        """Group-wide merged :class:`~repro.engine.telemetry.MetricsRegistry`.
+
+        Every member pipeline's registry is folded in under a ``query=name``
+        label; in shared mode each producer's registry is added once under
+        ``producer=<name>`` (shared work is charged once per group, exactly
+        like :meth:`shared_touches`).  Returns None when no member ran with
+        ``telemetry=True``.
+        """
+        merged = None
+        for name in self.group.names():
+            registry = self.group[name].compiled.telemetry
+            if registry is None:
+                continue
+            if merged is None:
+                from .telemetry import MetricsRegistry
+                merged = MetricsRegistry()
+            merged.merge(registry, {"query": name})
+        for producer in self.group.shared_producers():
+            registry = producer.compiled.telemetry
+            if registry is None:
+                continue
+            if merged is None:
+                from .telemetry import MetricsRegistry
+                merged = MetricsRegistry()
+            merged.merge(registry, {"producer": producer.name})
+        return merged
 
     def __repr__(self) -> str:
         return (f"GroupRunResult(queries={len(self.group)}, "

@@ -68,20 +68,41 @@ def profile_memory(query: ContinuousQuery, events: Iterable[Event],
 
     ``sample_every`` counts events between samples; sampling walks every
     operator, so very small values slow the run noticeably.
+
+    When the query was compiled with ``ExecutionConfig(telemetry=True)``,
+    each sample is also recorded into the pipeline's
+    :class:`~repro.engine.telemetry.MetricsRegistry` (histograms
+    ``memory_state_tuples`` / ``memory_view_tuples`` plus the
+    ``memory_peak_total`` high-water gauge), so ``--metrics-out`` exports
+    carry the memory trajectory alongside the timing series — one registry
+    for everything instead of a separate profiler side channel.
     """
     samples: list[MemorySample] = []
     counter = 0
+    registry = query.compiled.telemetry
+    if registry is not None:
+        state_hist = registry.histogram("memory_state_tuples")
+        view_hist = registry.histogram("memory_view_tuples")
+        peak_gauge = registry.gauge("memory_peak_total")
+    else:
+        state_hist = view_hist = peak_gauge = None
 
     def sampler(executor, event) -> None:
         nonlocal counter
         counter += 1
         if counter % sample_every:
             return
+        operator_state = executor.compiled.state_size()
+        view_size = len(executor.compiled.view)
         samples.append(MemorySample(
             ts=executor.now,
-            operator_state=executor.compiled.state_size(),
-            view_size=len(executor.compiled.view),
+            operator_state=operator_state,
+            view_size=view_size,
         ))
+        if state_hist is not None:
+            state_hist.observe(operator_state)
+            view_hist.observe(view_size)
+            peak_gauge.set_max(operator_state + view_size)
 
     result = query.run(events, on_event=sampler)
     return result, MemoryProfile(samples)

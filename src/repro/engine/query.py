@@ -60,17 +60,26 @@ class ContinuousQuery:
     def explain(self) -> str:
         """The annotated plan as an indented tree (Figure 6, textually),
         plus a sharding marker — the per-stream routing keys a parallel
-        run would use, or the reason the plan cannot be sharded — and a
-        lint verdict from the static rule catalogue
-        (:mod:`repro.analysis.planlint`)."""
+        run would use, or the reason the plan cannot be sharded — a lint
+        verdict from the static rule catalogue
+        (:mod:`repro.analysis.planlint`), and a telemetry marker (armed
+        instrument count, or how to enable it)."""
         from ..analysis.planlint import lint_compiled
         from ..core.sharding import analyze_partitionability
 
         tree = explain(self.plan, self.compiled.annotated)
         verdict = analyze_partitionability(self.plan)
         report = lint_compiled(self.compiled, claimed_sharding=verdict)
+        registry = self.compiled.telemetry
+        if registry is None:
+            metrics_note = "off (enable with ExecutionConfig(telemetry=True))"
+        else:
+            ops = len(self.compiled.op_timers)
+            metrics_note = (f"on ({len(registry)} instruments across "
+                            f"{ops} operators)")
         return (f"{tree}\n-- sharding: {verdict.describe()}"
-                f"\n-- lint: {report.summary()}")
+                f"\n-- lint: {report.summary()}"
+                f"\n-- metrics: {metrics_note}")
 
     @property
     def mode(self) -> Mode:

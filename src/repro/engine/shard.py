@@ -274,16 +274,37 @@ class _ShardFinal:
     """Per-shard end-of-run report."""
 
     __slots__ = ("answer", "counters", "events_processed", "tuples_arrived",
-                 "state_size")
+                 "state_size", "metrics")
 
     def __init__(self, answer: Multiset, counters: dict,
                  events_processed: int, tuples_arrived: int,
-                 state_size: int):
+                 state_size: int, metrics: list | None = None):
         self.answer = answer
         self.counters = counters
         self.events_processed = events_processed
         self.tuples_arrived = tuples_arrived
         self.state_size = state_size
+        #: Telemetry snapshot (plain records; picklable) or None when off.
+        self.metrics = metrics
+
+
+def _final_metrics(executor: Executor) -> list | None:
+    """Finish-time telemetry snapshot of one shard pipeline.
+
+    Shard pipelines are driven through ``process_batch``/``process_event``
+    rather than :meth:`Executor.run`, so the end-of-run bookkeeping that
+    ``run`` performs (final state sample, event/tuple gauges) happens here.
+    Returns plain snapshot records — what the process backend ships over
+    its pipe — or None when telemetry is off.
+    """
+    registry = executor.compiled.telemetry
+    if registry is None:
+        return None
+    executor._telemetry_sample()
+    registry.gauge("events_processed").set(executor._events_processed)
+    registry.gauge("tuples_arrived").set(executor.tuples_arrived)
+    executor._telemetry_teardown()
+    return registry.snapshot()
 
 
 # -- backends ------------------------------------------------------------------
@@ -335,7 +356,8 @@ class _SerialShards:
                         executor.compiled.counters.snapshot(),
                         executor._events_processed,
                         executor.tuples_arrived,
-                        executor.compiled.state_size())
+                        executor.compiled.state_size(),
+                        _final_metrics(executor))
             for executor in self.executors
         ]
 
@@ -378,6 +400,7 @@ def _shard_worker_main(conn, plan: LogicalNode, config: ExecutionConfig,
                     executor._events_processed,
                     executor.tuples_arrived,
                     executor.compiled.state_size(),
+                    _final_metrics(executor),
                 ))
                 conn.close()
                 return
@@ -387,11 +410,111 @@ def _shard_worker_main(conn, plan: LogicalNode, config: ExecutionConfig,
         try:
             conn.send(("err", f"{type(exc).__name__}: {exc}"))
             conn.close()
-        except OSError:
-            pass
+        except (BrokenPipeError, OSError):
+            # The parent end is gone, so the failure cannot be reported over
+            # the pipe; re-raise the *original* error so the worker exits
+            # nonzero instead of masking it behind a clean exit.
+            raise exc
 
 
-class _ProcessShards:
+class _WorkerPool:
+    """Shared plumbing of the forked-worker backends: spawn, ship, receive,
+    and — crucially — *fail loudly*.
+
+    A worker that dies mid-protocol (killed, OOMed, or crashed before it
+    could send an ``("err", ...)`` report) closes its pipe; the parent sees
+    that as :class:`EOFError`/:class:`OSError` on the next ``recv`` or
+    ``send`` and must not merge the truncated output as a success.  Every
+    failure path aborts the whole pool (terminate + reap) before raising,
+    so no zombie workers outlive the run.
+    """
+
+    #: Prefix of parent-side failure messages (subclasses override).
+    what = "shard worker"
+    #: Seconds a worker gets to exit after its "fin" reply before the
+    #: parent escalates (class attribute so tests can shrink it).
+    join_grace = 30.0
+    #: Seconds granted after terminate() before kill().
+    reap_grace = 5.0
+
+    def __init__(self) -> None:
+        self._connections = []
+        self._processes = []
+
+    def _spawn(self, context, target, args_for, n: int) -> None:
+        for index in range(n):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=target, args=args_for(child_conn, index), daemon=True)
+            process.start()
+            child_conn.close()
+            self._connections.append(parent_conn)
+            self._processes.append(process)
+
+    def _send(self, conn, message) -> None:
+        try:
+            conn.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            self._abort()
+            raise ExecutionError(
+                f"{self.what} died (pipe closed while sending "
+                f"{message[0]!r}): {type(exc).__name__}") from exc
+
+    def _receive(self, conn):
+        try:
+            reply = conn.recv()
+        except (EOFError, OSError) as exc:
+            # Worker vanished without an ("err", ...) report — e.g. killed
+            # by a signal.  Abort the pool and surface it immediately
+            # rather than merging partial output.
+            self._abort()
+            raise ExecutionError(
+                f"{self.what} died mid-protocol (pipe closed before "
+                f"reply): {type(exc).__name__}") from exc
+        if reply[0] == "err":
+            self._abort()
+            raise ExecutionError(f"{self.what} failed: {reply[1]}")
+        return reply
+
+    def _abort(self) -> None:
+        """Force-shutdown every worker: close pipes, terminate, reap."""
+        for conn in self._connections:
+            try:
+                conn.close()
+            except (BrokenPipeError, OSError):  # pragma: no cover - racing close
+                pass
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        self._reap()
+
+    def _reap(self) -> None:
+        """Join every worker; escalate terminate → kill for stragglers."""
+        for process in self._processes:
+            process.join(timeout=self.reap_grace)
+            if process.is_alive():  # pragma: no cover - needs a wedged child
+                process.kill()
+                process.join(timeout=self.reap_grace)
+
+    def _join_all(self) -> None:
+        """End-of-run reap: verify every worker actually exited.
+
+        A worker that survives the grace period is terminated, killed if
+        necessary, reaped, and *reported* — the old code joined with a
+        timeout but never checked ``is_alive()``, so a hung worker leaked
+        a zombie process while the run reported success.
+        """
+        for process in self._processes:
+            process.join(timeout=self.join_grace)
+        hung = sum(1 for process in self._processes if process.is_alive())
+        if hung:
+            self._abort()
+            raise ExecutionError(
+                f"{hung} {self.what}(s) failed to exit within "
+                f"{self.join_grace:g}s of finishing; terminated and reaped")
+
+
+class _ProcessShards(_WorkerPool):
     """k forked worker processes, one pipeline replica each.
 
     The parent sends every shard its chunk *before* collecting any reply, so
@@ -400,50 +523,38 @@ class _ProcessShards:
     paid once per chunk, not per event.
     """
 
+    what = "shard worker"
+
     def __init__(self, plan: LogicalNode, config: ExecutionConfig,
                  n_shards: int, batch: int | None, collect: bool):
+        super().__init__()
         context = multiprocessing.get_context("fork")
-        self._connections = []
-        self._processes = []
-        for _ in range(n_shards):
-            parent_conn, child_conn = context.Pipe()
-            process = context.Process(
-                target=_shard_worker_main,
-                args=(child_conn, plan, config, batch, collect),
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
-            self._connections.append(parent_conn)
-            self._processes.append(process)
-
-    def _receive(self, conn):
-        reply = conn.recv()
-        if reply[0] == "err":
-            raise ExecutionError(f"shard worker failed: {reply[1]}")
-        return reply
+        self._spawn(
+            context, _shard_worker_main,
+            lambda child_conn, _i: (child_conn, plan, config, batch, collect),
+            n_shards)
 
     def feed(self, per_shard: list[list[Event]]
              ) -> list[list[tuple[float, int, Tuple]]]:
         for conn, events in zip(self._connections, per_shard):
-            conn.send(("chunk", [_encode_event(e) for e in events]))
+            self._send(conn, ("chunk", [_encode_event(e) for e in events]))
         return [_decode_outputs(self._receive(conn)[1])
                 for conn in self._connections]
 
     def finish(self) -> list[_ShardFinal]:
         for conn in self._connections:
-            conn.send(("finish",))
+            self._send(conn, ("finish",))
         finals = []
         for conn in self._connections:
-            _tag, answer_items, counters, events, tuples, state = (
-                self._receive(conn))
+            (_tag, answer_items, counters, events, tuples, state,
+             metrics) = self._receive(conn)
             answer: Multiset = Multiset()
             for values, count in answer_items:
                 answer[values] = count
-            finals.append(_ShardFinal(answer, counters, events, tuples, state))
+            finals.append(_ShardFinal(answer, counters, events, tuples,
+                                      state, metrics))
             conn.close()
-        for process in self._processes:
-            process.join(timeout=30)
+        self._join_all()
         return finals
 
 
@@ -460,6 +571,40 @@ def _sum_counters(snapshots: Iterable[dict]) -> Counters:
         for name, value in snapshot.items():
             setattr(total, name, getattr(total, name) + value)
     return total
+
+
+def _merge_shard_metrics(snapshots: list, router: ShardRouter | None = None,
+                         extra_labels: dict | None = None):
+    """Fold per-shard telemetry snapshots into one parent registry.
+
+    Returns ``(merged, per_shard)`` — both None/empty when telemetry is off
+    (every snapshot None).  Each shard's snapshot is merged twice: once
+    under ``shard=i`` and once into the unlabeled totals, so the exported
+    series satisfy *total = Σ shards* exactly, per (name, label set) —
+    replica pipelines produce label-identical registries because operator
+    ids are stable plan-walk indices.  Router occupancy gauges are added so
+    the export also answers "was the key distribution balanced?".
+    """
+    if all(snapshot is None for snapshot in snapshots):
+        return None, []
+    from .telemetry import MetricsRegistry
+
+    merged = MetricsRegistry()
+    per_shard = []
+    for index, snapshot in enumerate(snapshots):
+        registry = MetricsRegistry()
+        records = snapshot or []
+        registry.merge_snapshot(records)
+        per_shard.append(registry)
+        labels = dict(extra_labels or {})
+        merged.merge_snapshot(records, {**labels, "shard": str(index)})
+        merged.merge_snapshot(records, labels or None)
+    if router is not None:
+        for index, arrivals in enumerate(router.per_shard_arrivals):
+            merged.gauge("router_shard_arrivals",
+                         shard=str(index)).set(arrivals)
+        merged.gauge("router_broadcasts").set(router.broadcasts)
+    return merged, per_shard
 
 
 # -- results -------------------------------------------------------------------
@@ -482,7 +627,8 @@ class ShardedRunResult:
                  partitionability: Partitionability | None = None,
                  fallback_reason: str | None = None,
                  per_shard_arrivals: list[int] | None = None,
-                 state_size: int = 0):
+                 state_size: int = 0,
+                 metrics=None, shard_metrics: list | None = None):
         self.shards = shards
         self.backend = backend
         self.elapsed = elapsed
@@ -494,6 +640,14 @@ class ShardedRunResult:
         self.fallback_reason = fallback_reason
         self.per_shard_arrivals = per_shard_arrivals or []
         self.state_size = state_size
+        #: Merged :class:`~repro.engine.telemetry.MetricsRegistry` (None
+        #: unless run with ``telemetry=True``).  Every worker snapshot is
+        #: folded in twice — under ``shard=i`` labels and into the unlabeled
+        #: totals — so totals decompose exactly: total = Σ shards per
+        #: (name, label set), mirroring the counter decomposition.
+        self.metrics = metrics
+        #: Per-shard registries, in shard order (empty list when off).
+        self.shard_metrics = shard_metrics or []
         self._answer_fn = answer_fn
 
     @classmethod
@@ -501,6 +655,7 @@ class ShardedRunResult:
                  partitionability: Partitionability | None = None
                  ) -> "ShardedRunResult":
         """Wrap an unsharded :class:`RunResult` after a clean fallback."""
+        metrics = result.metrics
         return cls(
             shards=1, backend="inline", elapsed=result.elapsed,
             events_processed=result.events_processed,
@@ -510,6 +665,8 @@ class ShardedRunResult:
             answer_fn=result.answer,
             partitionability=partitionability,
             fallback_reason=reason,
+            metrics=metrics,
+            shard_metrics=[metrics] if metrics is not None else [],
         )
 
     def answer(self) -> Multiset:
@@ -620,6 +777,9 @@ class ShardedExecutor:
                 total.update(shard_answer)
             return total
 
+        metrics, shard_metrics = _merge_shard_metrics(
+            [final.metrics for final in finals], router)
+
         return ShardedRunResult(
             shards=k,
             backend=backend_name,
@@ -632,6 +792,8 @@ class ShardedExecutor:
             partitionability=part,
             per_shard_arrivals=list(router.per_shard_arrivals),
             state_size=sum(final.state_size for final in finals),
+            metrics=metrics,
+            shard_metrics=shard_metrics,
         )
 
 
@@ -690,14 +852,15 @@ class _SerialGroupShards:
                     for _name, executor in replica:
                         executor.process_event(event)
 
-    def finish(self) -> list[dict[str, tuple[Multiset, dict]]]:
+    def finish(self) -> list[dict[str, tuple[Multiset, dict, list | None]]]:
         reports = []
         for replica in self.replicas:
             for _name, executor in replica:
                 verify_drain(executor.compiled)
             reports.append({
                 name: (executor.answer(),
-                       executor.compiled.counters.snapshot())
+                       executor.compiled.counters.snapshot(),
+                       _final_metrics(executor))
                 for name, executor in replica
             })
         return reports
@@ -729,7 +892,8 @@ def _group_worker_main(conn, members, batch: int | None) -> None:
                     verify_drain(executor.compiled)
                 conn.send(("fin", [
                     (name, list(executor.answer().items()),
-                     executor.compiled.counters.snapshot())
+                     executor.compiled.counters.snapshot(),
+                     _final_metrics(executor))
                     for name, executor in replica
                 ]))
                 conn.close()
@@ -740,57 +904,46 @@ def _group_worker_main(conn, members, batch: int | None) -> None:
         try:
             conn.send(("err", f"{type(exc).__name__}: {exc}"))
             conn.close()
-        except OSError:
-            pass
+        except (BrokenPipeError, OSError):
+            # Parent end gone: exit nonzero with the original error rather
+            # than masking the failure behind a clean exit.
+            raise exc
 
 
-class _ProcessGroupShards:
+class _ProcessGroupShards(_WorkerPool):
     """k forked workers, each holding a full member-set replica."""
 
-    def __init__(self, members, n_shards: int, batch: int | None):
-        context = multiprocessing.get_context("fork")
-        self._connections = []
-        self._processes = []
-        for _ in range(n_shards):
-            parent_conn, child_conn = context.Pipe()
-            process = context.Process(
-                target=_group_worker_main,
-                args=(child_conn, members, batch),
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
-            self._connections.append(parent_conn)
-            self._processes.append(process)
+    what = "group shard worker"
 
-    def _receive(self, conn):
-        reply = conn.recv()
-        if reply[0] == "err":
-            raise ExecutionError(f"group shard worker failed: {reply[1]}")
-        return reply
+    def __init__(self, members, n_shards: int, batch: int | None):
+        super().__init__()
+        context = multiprocessing.get_context("fork")
+        self._spawn(
+            context, _group_worker_main,
+            lambda child_conn, _i: (child_conn, members, batch),
+            n_shards)
 
     def feed(self, per_shard: list[list[Event]]) -> None:
         for conn, events in zip(self._connections, per_shard):
-            conn.send(("chunk", [_encode_event(e) for e in events]))
+            self._send(conn, ("chunk", [_encode_event(e) for e in events]))
         for conn in self._connections:
             self._receive(conn)
 
-    def finish(self) -> list[dict[str, tuple[Multiset, dict]]]:
+    def finish(self) -> list[dict[str, tuple[Multiset, dict, list | None]]]:
         for conn in self._connections:
-            conn.send(("finish",))
+            self._send(conn, ("finish",))
         reports = []
         for conn in self._connections:
             _tag, entries = self._receive(conn)
             report = {}
-            for name, answer_items, counters in entries:
+            for name, answer_items, counters, metrics in entries:
                 answer: Multiset = Multiset()
                 for values, count in answer_items:
                     answer[values] = count
-                report[name] = (answer, counters)
+                report[name] = (answer, counters, metrics)
             reports.append(report)
             conn.close()
-        for process in self._processes:
-            process.join(timeout=30)
+        self._join_all()
         return reports
 
 
@@ -804,7 +957,8 @@ class ShardedGroupRunResult:
                  elapsed: float, events_processed: int, tuples_arrived: int,
                  shards: int, backend: str,
                  partitionability: Partitionability | None = None,
-                 fallback=None, fallback_reason: str | None = None):
+                 fallback=None, fallback_reason: str | None = None,
+                 metrics=None):
         self.names = names
         self.elapsed = elapsed
         self.events_processed = events_processed
@@ -815,6 +969,10 @@ class ShardedGroupRunResult:
         self.fallback_reason = fallback_reason
         self.shard_counters = shard_counters
         self.member_counters = member_counters
+        #: Merged registry over all members and shards (labels ``query=``
+        #: plus ``shard=``; unlabeled-per-query series are the shard sums),
+        #: or None when telemetry is off.
+        self.metrics = metrics
         self._answers = answers
         self._fallback = fallback
 
@@ -833,6 +991,7 @@ class ShardedGroupRunResult:
             shards=1, backend="inline",
             partitionability=partitionability,
             fallback=result, fallback_reason=reason,
+            metrics=result.metrics(),
         )
 
     def answer(self, name: str) -> Multiset:
@@ -926,16 +1085,34 @@ def run_group_sharded(group, events: Iterable[Event], *, shards: int,
     shard_counters: list[dict[str, dict]] = []
     for report in reports:
         shard_counters.append(
-            {name: counters for name, (_answer, counters) in report.items()})
-        for name, (answer, _counters) in report.items():
+            {name: counters
+             for name, (_answer, counters, _metrics) in report.items()})
+        for name, (answer, _counters, _metrics) in report.items():
             answers[name].update(answer)
     for name in names:
         member_counters[name] = _sum_counters(
             report[name][1] for report in reports)
+
+    metrics = None
+    for name in names:
+        member_metrics, _ = _merge_shard_metrics(
+            [report[name][2] for report in reports],
+            extra_labels={"query": name})
+        if member_metrics is not None:
+            if metrics is None:
+                from .telemetry import MetricsRegistry
+                metrics = MetricsRegistry()
+            metrics.merge(member_metrics)
+    if metrics is not None:
+        for index, arrivals in enumerate(router.per_shard_arrivals):
+            metrics.gauge("router_shard_arrivals",
+                          shard=str(index)).set(arrivals)
+        metrics.gauge("router_broadcasts").set(router.broadcasts)
 
     return ShardedGroupRunResult(
         names=names, answers=answers, member_counters=member_counters,
         shard_counters=shard_counters, elapsed=elapsed,
         events_processed=events_processed, tuples_arrived=tuples_arrived,
         shards=shards, backend=backend_name, partitionability=part,
+        metrics=metrics,
     )

@@ -63,6 +63,7 @@ from ..operators.relation_join import NRRJoinOp, RelationJoinOp
 from ..operators.stateless import (PortOp, ProjectOp, SelectOp, UnionOp,
                                    WindowOp)
 from ..streams.window import CountWindow, TimeWindow
+from .telemetry import MetricsRegistry
 from .views import AppendView, BufferView, GroupView, ResultView
 
 
@@ -115,6 +116,13 @@ class ExecutionConfig:
     #: of silently corrupting answers.  Answers, output streams and counters
     #: are byte-identical to unchecked runs.
     checked: bool = False
+    #: Telemetry (CLI ``--metrics-out``): compile the pipeline with a
+    #: :class:`~repro.engine.telemetry.MetricsRegistry` and install the
+    #: executor's instrumented paths (per-operator timing spans, queue-depth
+    #: gauges, periodic state sampling).  Observation only — answers, output
+    #: streams and the legacy counters are byte-identical either way, and
+    #: with the default ``False`` the hot path carries no telemetry code.
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if not isinstance(self.mode, Mode):
@@ -145,6 +153,10 @@ class ExecutionConfig:
             raise ConfigError(
                 f"checked must be a bool, got {self.checked!r} (it arms the "
                 "runtime conformance monitors of checked execution)")
+        if not isinstance(self.telemetry, bool):
+            raise ConfigError(
+                f"telemetry must be a bool, got {self.telemetry!r} (it arms "
+                "the runtime metrics registry and timing spans)")
         if self.checked and self.allow_unbounded_state:
             raise ConfigError(
                 "checked=True is incompatible with allow_unbounded_state="
@@ -187,6 +199,16 @@ class CompiledQuery:
         self.max_span: float | None = None
         #: Armed (non-None) only under ``ExecutionConfig(checked=True)``.
         self.sanitizer: Sanitizer | None = None
+        #: Armed (non-None) only under ``ExecutionConfig(telemetry=True)``:
+        #: the pipeline's labeled metrics registry plus the per-operator
+        #: instrument tables the executor's instrumented paths resolve once
+        #: at compile time (id(op) -> instrument).
+        self.telemetry: "MetricsRegistry | None" = None
+        self.op_timers: dict[int, object] = {}
+        self.op_expire_timers: dict[int, object] = {}
+        self.op_state_gauges: dict[int, object] = {}
+        #: id(op) -> (stable op id, operator kind, pattern class) labels.
+        self.op_meta: dict[int, tuple[str, str, str]] = {}
 
     def route_of(self, op: PhysicalOperator) -> list[tuple[PhysicalOperator, int]]:
         return self.routes[id(op)]
@@ -228,7 +250,40 @@ def compile_plan(root: LogicalNode, config: ExecutionConfig,
 
     _wire_routes(root, compiled)
     _build_view(root, compiled, annotated, config, hybrid)
+    if config.telemetry:
+        _register_telemetry(root, compiled, annotated)
     return compiled
+
+
+def _register_telemetry(root: LogicalNode, compiled: CompiledQuery,
+                        annotated: AnnotatedPlan) -> None:
+    """Create the pipeline's registry and per-operator instruments.
+
+    Every physical operator gets a stable id (walk-order index plus class
+    name — deterministic for a given plan, so shard replicas of the same
+    plan produce label-identical registries that merge exactly), a timing
+    span for arrival processing, one for eager expiration where applicable,
+    and a queue-depth gauge sampled periodically by the executor.  Labels
+    carry the operator's update-pattern class (Section 5.2's annotation) so
+    exported metrics slice along the axis the paper's cost model predicts.
+    """
+    registry = MetricsRegistry()
+    compiled.telemetry = registry
+    expire_ids = {id(op) for op in compiled.expire_ops}
+    for index, node in enumerate(root.walk()):
+        op = compiled.op_for(node)
+        kind = type(op).__name__
+        op_id = f"{index}:{kind}"
+        pattern = str(annotated.pattern_of(node))
+        compiled.op_meta[id(op)] = (op_id, kind, pattern)
+        labels = {"op": op_id, "kind": kind, "pattern": pattern}
+        compiled.op_timers[id(op)] = registry.timer(
+            "op_process_seconds", **labels)
+        if id(op) in expire_ids:
+            compiled.op_expire_timers[id(op)] = registry.timer(
+                "op_expire_seconds", **labels)
+        compiled.op_state_gauges[id(op)] = registry.gauge(
+            "op_state_tuples", **labels)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,450 @@
+"""Runtime telemetry: labeled metrics registry, timers, and JSON export.
+
+The paper's evaluation (Section 6) is entirely metric-driven — execution
+time per 1000 tuples, state sizes, per-operator costs as functions of the
+window size — yet the legacy surface exposes only one flat
+:class:`~repro.core.metrics.Counters` bag per pipeline.  This module adds
+the observability layer the cost model (Section 5.4) is validated against:
+
+* :class:`MetricsRegistry` — a bag of *labeled* instruments (counters,
+  gauges, histograms/timers) keyed by ``(metric name, label set)``.  Labels
+  identify the operator (stable per-plan id), its update-pattern class
+  (MONOTONIC/WKS/WK/STR), and — after a sharded run — the shard index, so
+  per-operator cost-model predictions can be checked against what the
+  engine actually did.
+* **Null-registry pattern** — telemetry is *off by default*; a disabled
+  pipeline carries ``telemetry=None`` and the executor installs no
+  instrumented code paths at all, so the hot path allocates nothing and
+  executes no telemetry branches.  :data:`NULL_REGISTRY` additionally
+  provides write-discarding instruments for code that wants an
+  unconditional sink.
+* **Label-wise merge** — :meth:`MetricsRegistry.merge_snapshot` folds one
+  registry's snapshot into another, optionally adding labels.  A sharded
+  run merges every worker's registry twice: once under ``shard=i`` and once
+  into the unlabeled totals, so the decomposition *total = Σ shards* holds
+  exactly per (name, label set) — mirroring the counter-decomposition
+  guarantee of the sharded executor.
+* **JSON export** — :func:`metrics_document` / :func:`write_metrics_json`
+  produce a versioned, schema-checkable document (CLI ``--metrics-out``),
+  and :func:`validate_metrics_document` is the schema check CI gates on.
+
+Telemetry is observation only: instruments never feed back into answers,
+output streams, or the legacy deterministic counters, so runs are
+byte-identical with telemetry on or off (the equivalence suite in
+``tests/test_telemetry.py`` checks this across all execution regimes).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from typing import Iterable, Mapping
+
+#: Version tag of the exported JSON document; bump on breaking changes.
+METRICS_SCHEMA = "repro.metrics/v1"
+
+_TYPES = ("counter", "gauge", "histogram")
+
+
+def _label_key(labels: Mapping[str, str]) -> tuple:
+    """Canonical hashable identity of a label set."""
+    return tuple(sorted(labels.items()))
+
+
+class Instrument:
+    """Base class of all metric instruments.
+
+    An instrument is identified by its metric ``name`` plus its ``labels``
+    (a mapping of string keys to string values); the registry guarantees at
+    most one live instrument per identity.
+    """
+
+    __slots__ = ("name", "labels")
+    kind = "instrument"
+
+    def __init__(self, name: str, labels: Mapping[str, str]):
+        self.name = name
+        self.labels = dict(labels)
+
+    def record(self) -> dict:
+        """One snapshot record: identity plus this instrument's values."""
+        out = {"name": self.name, "type": self.kind, "labels": dict(self.labels)}
+        out.update(self._values())
+        return out
+
+    def _values(self) -> dict:
+        raise NotImplementedError
+
+    def combine(self, record: dict) -> None:
+        """Fold a snapshot record of the same kind into this instrument."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.labels.items()))
+        return f"{type(self).__name__}({self.name}{{{inner}}}, {self._values()})"
+
+
+class CounterMetric(Instrument):
+    """Monotonically increasing labeled count."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Mapping[str, str]):
+        super().__init__(name, labels)
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def _values(self) -> dict:
+        return {"value": self.value}
+
+    def combine(self, record: dict) -> None:
+        self.value += record["value"]
+
+
+class GaugeMetric(Instrument):
+    """Last-observed labeled value (e.g. a queue depth).
+
+    Merging sums gauges — the natural semantics for the decomposed
+    quantities this engine gauges (state sizes, queue depths, router
+    balance), where the group/shard total is the sum of the parts.
+    """
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Mapping[str, str]):
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        """Keep the high-water mark (peak state sizes)."""
+        if value > self.value:
+            self.value = value
+
+    def _values(self) -> dict:
+        return {"value": self.value}
+
+    def combine(self, record: dict) -> None:
+        self.value += record["value"]
+
+
+class HistogramMetric(Instrument):
+    """Streaming summary (count / total / min / max) of observed values.
+
+    Used both for value distributions and — under the ``*_seconds`` naming
+    convention — as the accumulator behind operator timing spans.  ``add``
+    is the hot-path entry: one attribute-cached method call per span.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: Mapping[str, str]):
+        super().__init__(name, labels)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    #: Alias matching conventional histogram vocabulary.
+    observe = add
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def _values(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    def combine(self, record: dict) -> None:
+        self.count += record["count"]
+        self.total += record["total"]
+        if record["min"] is not None and record["min"] < self.min:
+            self.min = record["min"]
+        if record["max"] is not None and record["max"] > self.max:
+            self.max = record["max"]
+
+
+class Span:
+    """A reusable wall-clock timing span feeding a histogram.
+
+    ``with registry.timer(...).time(): ...`` for convenience; the executor
+    uses explicit ``perf_counter`` deltas plus ``HistogramMetric.add`` on
+    its hot paths instead (no context-manager allocation per event).
+    """
+
+    __slots__ = ("_hist", "_start")
+
+    def __init__(self, hist: HistogramMetric):
+        self._hist = hist
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._hist.add(time.perf_counter() - self._start)
+
+
+class MetricsRegistry:
+    """A mutable bag of labeled instruments.
+
+    Instruments are created on first access and persist for the registry's
+    lifetime; repeated ``counter``/``gauge``/``histogram`` calls with the
+    same identity return the same object, so hot paths resolve their
+    instruments once at compile time and call plain methods afterwards.
+    """
+
+    #: Disabled registries short-circuit the executor's instrumentation.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple, Instrument] = {}
+
+    # -- instrument accessors ------------------------------------------------
+
+    def _get(self, cls, name: str, labels: Mapping[str, str]) -> Instrument:
+        key = (name, cls.kind, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, labels)
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):  # pragma: no cover - guarded by key
+            raise ValueError(f"metric {name!r} already registered with kind "
+                             f"{instrument.kind!r}")
+        return instrument
+
+    def counter(self, name: str, **labels: str) -> CounterMetric:
+        return self._get(CounterMetric, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> GaugeMetric:
+        return self._get(GaugeMetric, name, labels)
+
+    def histogram(self, name: str, **labels: str) -> HistogramMetric:
+        return self._get(HistogramMetric, name, labels)
+
+    def timer(self, name: str, **labels: str) -> HistogramMetric:
+        """A histogram under the ``*_seconds`` timing convention."""
+        if not name.endswith("_seconds"):
+            raise ValueError(
+                f"timer metric names end in '_seconds', got {name!r}")
+        return self._get(HistogramMetric, name, labels)
+
+    def span(self, name: str, **labels: str) -> Span:
+        return Span(self.timer(name, **labels))
+
+    # -- inspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterable[Instrument]:
+        return iter(self._instruments.values())
+
+    def find(self, name: str, **labels: str) -> list[Instrument]:
+        """Instruments matching ``name`` whose labels include ``labels``."""
+        wanted = labels.items()
+        return [inst for inst in self._instruments.values()
+                if inst.name == name
+                and all(inst.labels.get(k) == v for k, v in wanted)]
+
+    def value(self, name: str, **labels: str) -> float | int | None:
+        """Convenience: the value of the single counter/gauge matching the
+        *exact* label set, or None when absent."""
+        for kind in ("counter", "gauge"):
+            inst = self._instruments.get((name, kind, _label_key(labels)))
+            if inst is not None:
+                return inst.value
+        return None
+
+    def snapshot(self) -> list[dict]:
+        """Deterministically ordered plain-data records of every instrument
+        (picklable: this is what shard workers ship over their pipes)."""
+        records = [inst.record() for inst in self._instruments.values()]
+        records.sort(key=lambda r: (r["name"], r["type"],
+                                    sorted(r["labels"].items())))
+        return records
+
+    # -- merging -------------------------------------------------------------
+
+    def merge_snapshot(self, snapshot: Iterable[dict],
+                       extra_labels: Mapping[str, str] | None = None) -> None:
+        """Fold ``snapshot`` records into this registry label-wise.
+
+        ``extra_labels`` are added to every record's labels before the fold
+        — the sharded merge tags worker snapshots with ``shard=i`` this way.
+        Counters and histograms add; gauges sum (decomposition semantics).
+        """
+        classes = {"counter": CounterMetric, "gauge": GaugeMetric,
+                   "histogram": HistogramMetric}
+        for record in snapshot:
+            labels = dict(record["labels"])
+            if extra_labels:
+                labels.update(extra_labels)
+            cls = classes[record["type"]]
+            self._get(cls, record["name"], labels).combine(record)
+
+    def merge(self, other: "MetricsRegistry",
+              extra_labels: Mapping[str, str] | None = None) -> None:
+        self.merge_snapshot(other.snapshot(), extra_labels)
+
+
+class NullRegistry(MetricsRegistry):
+    """Write-discarding registry: the null-object sink.
+
+    Every accessor returns a cached no-op instrument; nothing is ever
+    recorded or exported.  Used where an unconditional registry-shaped
+    object is more convenient than a ``None`` check.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = _NullCounterMetric("null", {})
+        self._null_gauge = _NullGaugeMetric("null", {})
+        self._null_hist = _NullHistogramMetric("null", {})
+
+    def counter(self, name: str, **labels: str) -> CounterMetric:
+        return self._null_counter
+
+    def gauge(self, name: str, **labels: str) -> GaugeMetric:
+        return self._null_gauge
+
+    def histogram(self, name: str, **labels: str) -> HistogramMetric:
+        return self._null_hist
+
+    def timer(self, name: str, **labels: str) -> HistogramMetric:
+        return self._null_hist
+
+    def merge_snapshot(self, snapshot, extra_labels=None) -> None:
+        pass
+
+
+class _NullCounterMetric(CounterMetric):
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGaugeMetric(GaugeMetric):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_max(self, value: float) -> None:
+        pass
+
+
+class _NullHistogramMetric(HistogramMetric):
+    __slots__ = ()
+
+    def add(self, value: float) -> None:
+        pass
+
+    observe = add
+
+
+#: Shared do-nothing registry; safe to share because every write discards.
+NULL_REGISTRY = NullRegistry()
+
+
+# ---------------------------------------------------------------------------
+# JSON export and schema validation
+# ---------------------------------------------------------------------------
+
+def metrics_document(registry: MetricsRegistry,
+                     run_info: Mapping[str, object] | None = None) -> dict:
+    """The versioned export document for ``--metrics-out``."""
+    return {
+        "schema": METRICS_SCHEMA,
+        "run": dict(run_info or {}),
+        "metrics": registry.snapshot(),
+    }
+
+
+def write_metrics_json(path: str, registry: MetricsRegistry,
+                       run_info: Mapping[str, object] | None = None) -> int:
+    """Write the export document to ``path``; returns the series count."""
+    document = metrics_document(registry, run_info)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(document, f, indent=2, sort_keys=True, default=_json_default)
+        f.write("\n")
+    return len(document["metrics"])
+
+
+def _json_default(value):
+    if value == math.inf:
+        return "inf"
+    if value == -math.inf:
+        return "-inf"
+    raise TypeError(f"not JSON-serializable: {value!r}")  # pragma: no cover
+
+
+def validate_metrics_document(document: dict) -> int:
+    """Schema check for an exported metrics document.
+
+    Raises :class:`ValueError` naming the first offending record; returns
+    the number of metric series on success.  This is the check the CI
+    telemetry job gates on — hand-rolled so the repo needs no jsonschema
+    dependency.
+    """
+    if not isinstance(document, dict):
+        raise ValueError("metrics document must be a JSON object")
+    if document.get("schema") != METRICS_SCHEMA:
+        raise ValueError(f"unknown metrics schema {document.get('schema')!r} "
+                         f"(expected {METRICS_SCHEMA!r})")
+    if not isinstance(document.get("run"), dict):
+        raise ValueError("metrics document needs a 'run' object")
+    metrics = document.get("metrics")
+    if not isinstance(metrics, list):
+        raise ValueError("metrics document needs a 'metrics' list")
+    for index, record in enumerate(metrics):
+        where = f"metrics[{index}]"
+        if not isinstance(record, dict):
+            raise ValueError(f"{where}: not an object")
+        name = record.get("name")
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"{where}: missing metric name")
+        kind = record.get("type")
+        if kind not in _TYPES:
+            raise ValueError(f"{where} ({name}): unknown type {kind!r}")
+        labels = record.get("labels")
+        if not isinstance(labels, dict) or not all(
+                isinstance(k, str) and isinstance(v, str)
+                for k, v in labels.items()):
+            raise ValueError(f"{where} ({name}): labels must map str -> str")
+        if kind in ("counter", "gauge"):
+            if not isinstance(record.get("value"), (int, float)):
+                raise ValueError(f"{where} ({name}): needs a numeric 'value'")
+        else:  # histogram
+            for field in ("count", "total"):
+                if not isinstance(record.get(field), (int, float)):
+                    raise ValueError(
+                        f"{where} ({name}): needs a numeric {field!r}")
+            if record["count"] < 0:
+                raise ValueError(f"{where} ({name}): negative count")
+    return len(metrics)

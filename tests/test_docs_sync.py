@@ -65,6 +65,20 @@ class TestReadmeQuickstart:
         exec(compile(blocks[0], "README-multi-query", "exec"), namespace)
         assert "shared×" in namespace["group"].explain()
 
+    def test_telemetry_quickstart_runs(self):
+        """The telemetry snippet is self-contained, arms a registry, and
+        produces a schema-valid metrics document."""
+        blocks = [b for b in re.findall(r"```python\n(.*?)```", self.README,
+                                        re.S) if "telemetry=True" in b]
+        assert blocks, "README lost its telemetry quickstart"
+        namespace: dict = {}
+        exec(compile(blocks[0], "README-telemetry", "exec"), namespace)
+        registry = namespace["registry"]
+        assert registry.value("events_processed") == 3
+        assert registry.find("op_process_seconds")
+        assert namespace["document"]["schema"] == "repro.metrics/v1"
+        assert "-- metrics: on" in namespace["query"].explain()
+
     def test_sharded_quickstart_runs(self):
         """The --shards snippet is self-contained, correct, and really
         runs the sharded path (not a fallback)."""

@@ -67,6 +67,111 @@ class TestEngineFailures:
         assert sum(query.answer().values()) == 2
 
 
+@pytest.mark.skipif(
+    "fork" not in __import__("multiprocessing").get_all_start_methods(),
+    reason="process shard backend needs fork")
+class TestShardWorkerFailures:
+    """Shard-worker failure paths: die loudly, promptly, and reaped.
+
+    Regression tests for two silent-failure bugs: (a) a worker killed
+    mid-protocol used to surface as an unhandled EOFError (or worse, a
+    truncated merge), and (b) ``finish()`` joined workers with a timeout
+    but never checked ``is_alive()``, so a hung worker leaked a zombie
+    while the run reported success.
+    """
+
+    def _plan(self):
+        return (from_window(stream("s0"))
+                .join(from_window(stream("s1")), on="v").build())
+
+    def _events(self, n=700):
+        events = []
+        for i in range(n):
+            events.append(Arrival(0.1 * i, f"s{i % 2}", (i % 32,)))
+        return events
+
+    def test_killed_worker_raises_promptly_and_leaves_no_zombie(self):
+        """SIGKILL one worker mid-run: the parent must raise within the
+        chunk that hits the dead pipe — not hang for the 30 s join grace —
+        and every other worker must be terminated and reaped."""
+        import os
+        import signal
+        import time
+
+        from repro.engine.shard import ShardedExecutor
+
+        executor = ShardedExecutor(self._plan(), ExecutionConfig(mode=Mode.NT),
+                                   shards=2, backend="process")
+        victims = []
+
+        def killing_events():
+            import multiprocessing
+
+            for index, event in enumerate(self._events()):
+                if index == 400:  # mid-run: after the first 256-event chunk
+                    children = multiprocessing.active_children()
+                    assert children, "workers should be alive mid-run"
+                    victims.extend(children)
+                    os.kill(children[0].pid, signal.SIGKILL)
+                yield event
+
+        start = time.monotonic()
+        with pytest.raises(ExecutionError, match="died"):
+            executor.run(killing_events())
+        elapsed = time.monotonic() - start
+        assert elapsed < 15, f"parent hung {elapsed:.1f}s on a dead worker"
+        deadline = time.monotonic() + 10
+        while any(p.is_alive() for p in victims):
+            assert time.monotonic() < deadline, "zombie shard worker leaked"
+            time.sleep(0.05)
+        assert all(p.exitcode is not None for p in victims)
+
+    def test_backend_receive_aborts_whole_pool(self):
+        """A dead worker poisons the pool: the first failed receive
+        terminates and reaps every sibling before raising."""
+        import time
+
+        from repro.engine.shard import _ProcessShards, ShardRouter
+        from repro.core.sharding import analyze_partitionability
+
+        plan = self._plan()
+        part = analyze_partitionability(plan)
+        backend = _ProcessShards(plan, ExecutionConfig(mode=Mode.NT),
+                                 3, None, False)
+        try:
+            backend._processes[1].kill()
+            backend._processes[1].join(timeout=10)
+            router = ShardRouter(part.keys, 3)
+            with pytest.raises(ExecutionError, match="died"):
+                backend.feed(router.route_chunk(self._events(64)))
+            deadline = time.monotonic() + 10
+            while any(p.is_alive() for p in backend._processes):
+                assert time.monotonic() < deadline, "pool abort leaked workers"
+                time.sleep(0.05)
+        finally:
+            backend._abort()
+
+    def test_hung_worker_is_detected_terminated_and_reported(self):
+        """A worker that never exits after finishing must be terminated,
+        reaped and reported — not silently leaked as a zombie."""
+        import multiprocessing
+        import time
+
+        from repro.engine.shard import _WorkerPool
+
+        context = multiprocessing.get_context("fork")
+        pool = _WorkerPool()
+        pool.join_grace = 0.2  # don't wait the production 30 s in a test
+        pool._spawn(context, time.sleep, lambda _conn, _i: (60,), 1)
+        try:
+            with pytest.raises(ExecutionError, match="failed to exit"):
+                pool._join_all()
+            assert all(not p.is_alive() for p in pool._processes)
+            assert all(p.exitcode is not None for p in pool._processes)
+        finally:
+            pool._abort()
+
+
 class TestPlannerFailures:
     def test_direct_with_negation_message_names_the_cure(self):
         plan = (from_window(stream("a"))
