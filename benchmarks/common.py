@@ -94,7 +94,7 @@ def run_once(plan: LogicalNode, events: list,
         window=window,
         events=result.events_processed,
         time_ms_per_1000=result.time_per_1000() * 1000.0,
-        touches_per_event=result.touches_per_event(),
+        touches_per_event=result.touches_per_tuple(),
         answer_size=sum(result.answer().values()),
     )
 

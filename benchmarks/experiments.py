@@ -302,12 +302,48 @@ def e13_shard_scaling() -> list[Measurement]:
                     window=window,
                     events=result.events_processed,
                     time_ms_per_1000=result.time_per_1000() * 1000.0,
-                    touches_per_event=result.touches_per_event(),
+                    touches_per_event=result.touches_per_tuple(),
                     answer_size=sum(result.answer().values()),
                 ))
     print_table(
         f"E13 — shard scaling (process backend, batch=64, "
         f"{os.cpu_count()} core(s))", results)
+    return results
+
+
+def program_overhead() -> list[Measurement]:
+    """Driver-overhead audit: the UPA cells of E1–E5 on the unified
+    execution-program driver.
+
+    The refactor replaced the hand-inlined event loop with a compiled
+    ``ExecutionProgram`` interpreted by one ``Driver`` shared across all
+    regimes; this experiment re-measures exactly the table cells whose
+    pre-refactor times are recorded in RESULTS.md so the two can be
+    compared (``benchmarks/test_program_overhead.py`` asserts the ratio
+    stays within tolerance).  Labels match the RESULTS.md tables.
+    """
+    upa = lambda: ExecutionConfig(mode=Mode.UPA)  # noqa: E731
+    shapes = (
+        ("E1", lambda gen, w: query1(gen, w, "ftp"), upa, BENCH_TRAFFIC),
+        ("E2", lambda gen, w: query1(gen, w, "telnet"), upa, BENCH_TRAFFIC),
+        ("E3-src", lambda gen, w: query2(gen, w, pairs=False), upa,
+         BENCH_TRAFFIC),
+        ("E3-srcdst", lambda gen, w: query2(gen, w, pairs=True), upa,
+         BENCH_TRAFFIC),
+        ("E4-neg", query3,
+         lambda: ExecutionConfig(mode=Mode.UPA, str_storage=STR_NEGATIVE),
+         dataclasses.replace(BENCH_TRAFFIC, ip_overlap=1.0)),
+        ("E5", query4, upa, BENCH_TRAFFIC),
+    )
+    results: list[Measurement] = []
+    for label, plan_fn, config_factory, traffic in shapes:
+        gen = make_generator(traffic)
+        for window in windows():
+            events = trace_for(window, traffic)
+            results.append(run_once(plan_fn(gen, window), events,
+                                    config_factory(), label, window))
+    print_table("PROGRAM — unified-driver UPA times on the E1–E5 cells",
+                results)
     return results
 
 
@@ -324,4 +360,5 @@ EXPERIMENTS = {
     "e10": e10_memory,
     "e11": e11_reeval_baseline,
     "e13": e13_shard_scaling,
+    "program": program_overhead,
 }

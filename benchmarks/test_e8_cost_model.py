@@ -33,7 +33,7 @@ def test_cost_model_ranks_like_measurement(benchmark):
             query = ContinuousQuery(plan, ExecutionConfig(
                 mode=Mode.UPA, str_storage=STR_NEGATIVE))
             result = query.run(iter(events))
-            rows.append((tag, predicted, result.touches_per_event()))
+            rows.append((tag, predicted, result.touches_per_tuple()))
         return rows
 
     rows = benchmark.pedantic(measure, rounds=1, iterations=1)

@@ -1,0 +1,106 @@
+"""The unified execution-program driver must not tax the hot loop.
+
+The multi-layer refactor routed every regime (per-tuple, batched, shared,
+sharded) through one compiled ``ExecutionProgram`` interpreted by a single
+``Driver``.  These tests replay the UPA cells of E1–E5 on the new driver
+and compare against the pre-refactor times recorded in RESULTS.md: the
+program-driven loop must stay within a noise-tolerant factor of the old
+hand-inlined one.  Wall-clock comparisons across machines and runs are
+inherently noisy, so the tolerance is generous by default (2x) and
+overridable via ``REPRO_PROGRAM_OVERHEAD_TOL`` for quieter hosts.
+
+The sweep itself (and the ``BENCH_program.json`` emission) is exercised
+through the same ``benchmarks.harness`` machinery the CLI uses.
+"""
+
+import json
+import os
+
+import pytest
+
+from .common import quick_mode, windows
+from .experiments import EXPERIMENTS, program_overhead
+from .harness import BENCH_SCHEMA, bench_document, main as harness_main
+
+#: Pre-refactor UPA ms-per-1000-tuples from RESULTS.md (full windows).
+#: Keyed by the labels ``program_overhead`` emits.
+PROGRAM_BASELINES = {
+    "E1": {100: 2.29, 200: 2.34, 400: 2.38, 800: 2.83},
+    "E2": {100: 5.06, 200: 7.07, 400: 10.99, 800: 24.34},
+    "E3-src": {100: 4.27, 200: 4.34, 400: 4.08, 800: 4.89},
+    "E3-srcdst": {100: 4.65, 200: 5.05, 400: 5.42, 800: 4.60},
+    "E4-neg": {100: 4.37, 200: 5.65, 400: 4.73, 800: 5.32},
+    "E5": {100: 14.57, 200: 7.66, 400: 7.69, 800: 8.27},
+}
+
+TOLERANCE = float(os.environ.get("REPRO_PROGRAM_OVERHEAD_TOL", "2.0"))
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    """One sweep per test session (the replay dominates the runtime)."""
+    return program_overhead()
+
+
+class TestProgramOverhead:
+    def test_registered_with_harness(self):
+        assert EXPERIMENTS["program"] is program_overhead
+
+    def test_sweep_covers_every_baseline_shape(self, measurements):
+        labels = {m.label for m in measurements}
+        assert labels == set(PROGRAM_BASELINES)
+        expected_windows = set(windows())
+        for label in labels:
+            got = {m.window for m in measurements if m.label == label}
+            assert got == expected_windows, label
+
+    def test_program_driver_within_tolerance_of_results_md(
+            self, measurements):
+        """Each measured cell vs its RESULTS.md counterpart.
+
+        Quick mode's window 50 has no pre-refactor baseline and is
+        skipped; everything else must be within ``TOLERANCE``x.
+        """
+        compared, violations = 0, []
+        for m in measurements:
+            baseline = PROGRAM_BASELINES[m.label].get(m.window)
+            if baseline is None:
+                continue
+            compared += 1
+            if m.time_ms_per_1000 > TOLERANCE * baseline:
+                violations.append(
+                    f"{m.label} W={m.window}: {m.time_ms_per_1000:.2f} "
+                    f"ms/1k > {TOLERANCE}x baseline {baseline:.2f}")
+        assert compared >= (12 if quick_mode() else 24)
+        assert not violations, "\n".join(violations)
+
+    def test_answers_nonempty(self, measurements):
+        """Guard against measuring a loop that silently stopped producing
+        results (a fast driver that drops tuples is not an optimisation)."""
+        for m in measurements:
+            assert m.events > 0, m.label
+            assert m.answer_size >= 0
+
+
+class TestBenchJsonEmission:
+    def test_bench_document_schema(self, measurements):
+        document = bench_document("program", measurements,
+                                  quick=quick_mode(), elapsed_seconds=1.0)
+        assert document["schema"] == BENCH_SCHEMA
+        assert document["experiment"] == "program"
+        assert len(document["records"]) == len(measurements)
+        record = document["records"][0]
+        assert {"label", "window", "time_ms_per_1000"} <= set(record)
+
+    def test_harness_writes_bench_program_json(self, tmp_path, monkeypatch):
+        """``python -m benchmarks.harness program --json-out DIR`` must
+        emit a schema-valid BENCH_program.json."""
+        monkeypatch.setenv("REPRO_BENCH_QUICK", "1")
+        assert harness_main(["program", "--quick",
+                             "--json-out", str(tmp_path)]) == 0
+        path = tmp_path / "BENCH_program.json"
+        document = json.loads(path.read_text())
+        assert document["schema"] == BENCH_SCHEMA
+        assert document["quick"] is True
+        labels = {record["label"] for record in document["records"]}
+        assert labels == set(PROGRAM_BASELINES)

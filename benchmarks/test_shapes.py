@@ -22,7 +22,7 @@ from .common import BENCH_TRAFFIC, make_generator, trace_for
 def touches(plan, events, **cfg):
     query = ContinuousQuery(plan, ExecutionConfig(**cfg))
     result = query.run(iter(events))
-    return result.touches_per_event()
+    return result.touches_per_tuple()
 
 
 class TestDirectDegradesWithWindow:

@@ -1,0 +1,743 @@
+"""The unified event-loop driver: one loop for every execution regime.
+
+A :class:`Driver` runs one :class:`~repro.engine.program.ExecutionProgram`
+in per-tuple or micro-batch mode.  Section 2's processing model: "Each new
+tuple is processed immediately by all the operators in the query before the
+next tuple is processed.  Consequently, results are produced in timestamp
+order."  Before dispatching each event the driver runs an expiration pass
+(so the eager expiration interval equals the tuple inter-arrival time, the
+setting used in Section 6.1), and every ``lazy_interval`` time units it
+lets lazily-maintained operators purge their state (default: 5% of the
+largest window, the paper's default).  Pure time advancement without
+arrivals is modelled with Tick events.
+
+Micro-batch execution (:meth:`Driver.process_batch`) amortizes the
+per-event overhead — the bottom-up expiration pass, the result-view purge,
+and the per-tuple propagation walk — over groups of consecutive events
+while producing *byte-identical* output streams, view snapshots, and
+expiration counters.  The exactness argument (see DESIGN.md):
+
+* The per-tuple expiration pass at clock ``n`` emits output only when some
+  eagerly-maintained tuple has ``exp <= n`` that was not yet expired; all
+  other passes are no-ops.  The batched path therefore tracks a conservative
+  *expiration boundary* — the minimum ``exp`` over all eager operator state,
+  lowered further by every tuple that flows during the batch (any flowing
+  tuple may be absorbed into eager state) — and runs a full expiration pass,
+  at exactly the per-tuple triggering clock, whenever an event's clock
+  reaches the boundary.  Passes skipped between boundary crossings are
+  provably no-ops, so the emitted streams are identical event for event.
+* The result view's timestamp purge produces no output and answer snapshots
+  filter by liveness, so the view is purged once per batch (and at every
+  expiration pass) instead of per event; the ``expirations`` counter
+  equalizes at every batch boundary because both schedules have purged
+  exactly the results with ``exp <= clock``.
+* Lazy-purge scheduling is a pure function of event clocks, so the batched
+  path replays the per-event decisions verbatim; purge timing is unchanged.
+
+Only the *touches*/*probes* counters may differ between the two paths — the
+amortization is precisely the removal of that redundant per-event work.
+
+Instrumentation is layered *around program steps*, never written into the
+loop: :class:`TelemetryLayer` (opt-in via ``ExecutionConfig(telemetry=True)``)
+installs duty-cycled timed step variants as instance-attribute shadows on
+the driver while armed and removes them on teardown, so the disabled hot
+path keeps its original code with zero telemetry branches or allocations.
+Checked-mode monitors wrap operators and buffers at compile time
+(``analysis/sanitizer.py``), so a program calling ``op.process(...)`` is
+monitored with no driver involvement.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Sequence
+
+from ..core.tuples import Tuple
+from ..errors import ExecutionError
+from ..streams.relation import NRR
+from ..streams.stream import Arrival, Event, RelationUpdate, Tick
+from ..operators.base import PhysicalOperator
+from .program import ExecutionProgram
+
+
+class Driver:
+    """Runs one compiled execution program over an event sequence."""
+
+    #: True only while a telemetry layer's timed step variants are
+    #: installed; a class-level default so the disabled path never
+    #: allocates it.
+    _timing = False
+
+    def __init__(self, compiled, program: ExecutionProgram):
+        self.compiled = compiled
+        self.program = program
+        self.now: float = -math.inf
+        self._seq: dict[str, int] = {}
+        self._last_purge: float | None = None
+        self._events_processed = 0
+        self._tuples_arrived = 0
+        self._subscribers: list = []
+        #: Conservative lower bound on the next eager expiration; only
+        #: maintained inside :meth:`process_batch` (the per-tuple path runs
+        #: an expiration pass before every event and needs no boundary).
+        self._next_expiry: float = -math.inf
+        span = compiled.max_span
+        interval = compiled.config.lazy_interval
+        if interval is None and span is not None:
+            interval = 0.05 * span
+        self._lazy_interval = interval
+        # Program tables, resolved once so the per-event paths do not walk
+        # compiled structures or rebuild caches.
+        self._dispatch = program.dispatch
+        self._expire_ops = program.expire_ops
+        self._lazy_ops = program.lazy_ops
+        self._routes = program.routes
+        self._leaf_bindings = program.leaf_bindings
+        self._time_domain = program.time_domain != "count"
+        self._count_stream = program.count_stream
+        #: Telemetry registry (None when off) and its instrumentation
+        #: layer.  When armed, the layer's timed step variants shadow the
+        #: plain ones via instance attributes — the disabled hot path keeps
+        #: its original code with zero telemetry branches or allocations.
+        self._telemetry = compiled.telemetry
+        self._layer: TelemetryLayer | None = None
+        if self._telemetry is not None:
+            self._layer = TelemetryLayer(self._telemetry, compiled)
+            self._layer.arm(self)
+
+    # -- public API --------------------------------------------------------
+
+    @property
+    def tuples_arrived(self) -> int:
+        """Stream arrivals processed so far (the per-1000-tuples
+        denominator)."""
+        return self._tuples_arrived
+
+    def subscribe(self, callback) -> None:
+        """Receive the query's *output stream*: every real (insertion) and
+        negative (deletion) tuple, as in Definition 2.
+
+        The callback is invoked as ``callback(tuple, now)``.  Predictable
+        expirations are — by design — not signalled: each delivered tuple
+        carries its ``exp`` timestamp, and the update-pattern classification
+        exists precisely so consumers can manage such expirations themselves
+        (only unpredictable, strict non-monotonic deletions arrive as
+        negative tuples).
+        """
+        self._subscribers.append(callback)
+
+    def answer(self):
+        """Current result multiset Q(now)."""
+        return self.compiled.view.snapshot(self.now)
+
+    def process_event(self, event: Event) -> None:
+        """Advance the clock, expire state, then dispatch one event."""
+        now = self._clock_for(event)
+        if now < self.now:
+            raise ExecutionError(
+                f"out-of-order event: ts {now} after clock {self.now} "
+                "(the model assumes non-decreasing timestamps, Section 2)"
+            )
+        self.now = now
+        self._events_processed += 1
+        self._expiration_pass(now)
+        if isinstance(event, Arrival):
+            self._tuples_arrived += 1
+            self._dispatch_arrival(event, now)
+        elif isinstance(event, RelationUpdate):
+            self._dispatch_relation_update(event, now)
+        elif isinstance(event, Tick):
+            pass  # time already advanced; the expiration pass did the work
+        else:  # pragma: no cover - event model is closed
+            raise ExecutionError(f"unknown event type {type(event).__name__}")
+        self._maybe_lazy_purge(now)
+
+    def process_batch(self, events: Sequence[Event]) -> None:
+        """Process a micro-batch of events with one amortized expiration
+        schedule.
+
+        The batch is implicitly split at every expiration boundary: an
+        expiration pass runs — at the clock of the event that crosses the
+        boundary, exactly as in tuple-at-a-time mode — whenever an event's
+        clock reaches the tracked minimum ``exp`` of eager state or of any
+        tuple that flowed earlier in the batch.  Lazy-purge decisions are
+        replayed per event, and the result view is purged once at the end
+        of the batch.
+        """
+        if not events:
+            return
+        # The loop below is the hot path of the batched mode; every self-
+        # attribute it needs is hoisted into a local, the clock computation
+        # is inlined for the (common) time domain, and arrival dispatch is
+        # inlined from the program's precompiled dispatch table rather than
+        # going through _dispatch_arrival.  Decisions — clock advancement,
+        # boundary checks, lazy-purge scheduling — are still made per
+        # event, in the per-tuple order.
+        compiled = self.compiled
+        time_domain = self._time_domain
+        counters = compiled.counters
+        view = compiled.view
+        subscribers = self._subscribers
+        # Telemetry: advance the duty cycle BEFORE hoisting so the step
+        # slots below resolve to this batch's (timed or plain) variants.
+        # The default (telemetry off) pays one falsy attribute test per
+        # batch setup.
+        if self._telemetry is not None:
+            self._layer.advance(self)
+        propagate = self._propagate_tracked
+        propagate_route = self._propagate_route
+        clock_for = self._clock_for
+        expiration_pass = self._expiration_pass
+        compute_next_expiry = self._compute_next_expiry
+        lazy_check = (self._lazy_interval is not None
+                      and bool(self._lazy_ops))
+        maybe_lazy_purge = self._maybe_lazy_purge
+        dispatch = self._dispatch
+        events_processed = self._events_processed
+        tuples_arrived = self._tuples_arrived
+        # Timed batches only (1 in timer_every): one local None-check per
+        # arrival-plan; untimed and disabled batches hoist a plain None.
+        op_timers = compiled.op_timers if self._timing else None
+        perf = time.perf_counter
+        self._next_expiry = compute_next_expiry()
+        try:
+            for event in events:
+                now = event.ts if time_domain else clock_for(event)
+                if now < self.now:
+                    raise ExecutionError(
+                        f"out-of-order event: ts {now} after clock "
+                        f"{self.now} (the model assumes non-decreasing "
+                        "timestamps, Section 2)"
+                    )
+                self.now = now
+                events_processed += 1
+                if now >= self._next_expiry:
+                    # Boundary crossed: run the full pass at this event's
+                    # clock (identical to the per-tuple trigger), then
+                    # re-anchor the boundary on the surviving eager state.
+                    expiration_pass(now)
+                    self._next_expiry = compute_next_expiry()
+                if isinstance(event, Arrival):
+                    tuples_arrived += 1
+                    for leaf, is_window, prefix, suffix in \
+                            dispatch.get(event.stream, ()):
+                        if op_timers is not None:
+                            t0 = perf()
+                        # ``now`` is already in the stamping domain (see
+                        # _dispatch_arrival).
+                        stamped = leaf.stamp(event.values, now, now)
+                        if not is_window:  # unexpected leaf type: generic
+                            outputs = leaf.process(0, stamped, now)
+                            if op_timers is not None:
+                                op_timers[id(leaf)].add(perf() - t0)
+                            if outputs:
+                                propagate(leaf, outputs, now)
+                            continue
+                        # Inlined WindowOp.process for a (positive)
+                        # arrival: clock advance, one tuples_processed
+                        # charge, store insertion under NT.
+                        if now > leaf.clock:
+                            leaf.clock = now
+                        counters.tuples_processed += 1
+                        store = leaf._store
+                        if store is not None:
+                            store.insert(stamped)
+                        # The stamped tuple may enter eager state (NT
+                        # window FIFO) even if a filter drops it upstream,
+                        # so it always lowers the expiration boundary.
+                        if stamped.exp < self._next_expiry:
+                            self._next_expiry = stamped.exp
+                        t = stamped
+                        alive = True
+                        for op, kind, arg in prefix:
+                            # Inlined stateless bookkeeping (scalar_kernel
+                            # contract): clock advance + one charge.
+                            if now > op.clock:
+                                op.clock = now
+                            counters.tuples_processed += 1
+                            if kind == "filter":
+                                if not arg(t.values):
+                                    alive = False
+                                    break
+                            elif kind == "map_indices":
+                                t = t.with_values(
+                                    tuple(t.values[i] for i in arg))
+                            # "pass": forward unchanged
+                        if op_timers is not None:
+                            # Fused mode attributes the stamp + insert +
+                            # inlined-prefix work to the leaf's timer; the
+                            # suffix route self-times via _propagate_route.
+                            op_timers[id(leaf)].add(perf() - t0)
+                        if not alive:
+                            continue
+                        if suffix:
+                            propagate_route(suffix, [t], now)
+                        else:
+                            view.apply(t, now)
+                            for subscriber in subscribers:
+                                subscriber(t, now)
+                elif isinstance(event, RelationUpdate):
+                    self._dispatch_relation_update(event, now, tracked=True)
+                elif isinstance(event, Tick):
+                    pass
+                else:  # pragma: no cover - event model is closed
+                    raise ExecutionError(
+                        f"unknown event type {type(event).__name__}")
+                if lazy_check:
+                    maybe_lazy_purge(now)
+        finally:
+            self._events_processed = events_processed
+            self._tuples_arrived = tuples_arrived
+        # One amortized view purge per batch: timestamp purging emits no
+        # output, so only its (deterministic) timing is batched.
+        compiled.view.purge(self.now)
+        # State-depth sampling rides the timer duty cycle: one batch in
+        # timer_every (plus the final sample in record_run / finalizers).
+        if self._timing:
+            self._layer.sample(self)
+
+    # -- program steps -----------------------------------------------------
+
+    def _clock_for(self, event: Event) -> float:
+        if self._time_domain:
+            return event.ts
+        # Count-based windows: the clock is the count-stream's sequence
+        # number; it advances only on arrivals of that stream.
+        if (isinstance(event, Arrival)
+                and event.stream == self._count_stream):
+            self._seq[event.stream] = self._seq.get(event.stream, 0) + 1
+        return self._seq.get(self._count_stream, 0)
+
+    def _expiration_pass(self, now: float) -> None:
+        # Bottom-up: leaves (NT negatives) first, then eager operators; each
+        # operator's emissions are pushed all the way up before the next
+        # operator expires, so parents observe deletions in order.
+        for op in self._expire_ops:
+            outputs = op.expire(now)
+            self._propagate(op, outputs, now)
+        self.compiled.view.purge(now)
+
+    def _compute_next_expiry(self) -> float:
+        """Minimum pending ``exp`` across all eagerly-expired state.
+
+        This is the earliest clock at which a skipped expiration pass could
+        stop being a no-op.  Boundary queries are scheduling overhead, not
+        state-buffer work, so they are not charged as touches — the touch
+        metric keeps measuring the strategies' own maintenance cost.
+        """
+        now = self.now
+        boundary = math.inf
+        for op in self._expire_ops:
+            candidate = op.next_expiry(now)
+            if candidate < boundary:
+                boundary = candidate
+        return boundary
+
+    def _dispatch_arrival(self, event: Arrival, now: float,
+                          tracked: bool = False) -> None:
+        leaves = self._leaf_bindings.get(event.stream)
+        if not leaves:
+            return  # stream not referenced by this query
+        propagate = self._propagate_tracked if tracked else self._propagate
+        for leaf in leaves:
+            # ``now`` already lives in the stamping domain: _clock_for
+            # returns the event timestamp for time-based plans and the
+            # count-stream sequence number for count-based ones, which is
+            # exactly the value WindowOp.stamp expects for both the tuple
+            # timestamp and the expiry clock (the stamping contract is
+            # documented on WindowOp.stamp).
+            stamped = leaf.stamp(event.values, now, now)
+            outputs = leaf.process(0, stamped, now)
+            propagate(leaf, outputs, now)
+
+    def _dispatch_relation_update(self, event: RelationUpdate, now: float,
+                                  tracked: bool = False) -> None:
+        relation = self.program.relations.get(event.relation)
+        if relation is None:
+            raise ExecutionError(
+                f"relation {event.relation!r} is not referenced by the query"
+            )
+        if isinstance(relation, NRR):
+            # Non-retroactive: just version the table; no results change.
+            if event.op == RelationUpdate.INSERT:
+                relation.insert_at(now, event.values)
+            else:
+                relation.delete_at(now, event.values)
+            return
+        if event.op == RelationUpdate.INSERT:
+            relation.insert(event.values)
+        else:
+            relation.delete(event.values)
+        propagate = self._propagate_tracked if tracked else self._propagate
+        for op in self.program.relation_bindings.get(event.relation, ()):
+            if event.op == RelationUpdate.INSERT:
+                outputs = op.on_relation_insert(event.values, now)
+            else:
+                outputs = op.on_relation_delete(event.values, now)
+            propagate(op, outputs, now)
+
+    def _propagate(self, source: PhysicalOperator, outputs: list[Tuple],
+                   now: float) -> None:
+        if not outputs:
+            return
+        for parent, slot in self._routes[id(source)]:
+            outputs = parent.process_batch(slot, outputs, now)
+            if not outputs:
+                return
+        self._deliver(outputs, now)
+
+    def _propagate_tracked(self, source: PhysicalOperator,
+                           outputs: list[Tuple], now: float) -> None:
+        """Propagate from ``source`` with expiration-boundary tracking."""
+        if not outputs:
+            return
+        self._propagate_route(self._routes[id(source)], outputs, now)
+
+    def _propagate_route(self, route, outputs: list[Tuple],
+                         now: float) -> None:
+        """Push ``outputs`` along ``route`` and lower the expiration
+        boundary by every flowing tuple's ``exp``.
+
+        Any tuple an operator stores was visible to the driver as some
+        stage's input or output, so folding the minimum over all stages
+        keeps ``_next_expiry`` a sound lower bound on newly-created eager
+        state.  Negative tuples are included too — harmlessly conservative
+        (an unnecessarily low boundary only schedules a no-op pass).
+        """
+        boundary = self._next_expiry
+        for parent, slot in route:
+            for t in outputs:
+                if t.exp < boundary:
+                    boundary = t.exp
+            outputs = parent.process_batch(slot, outputs, now)
+            if not outputs:
+                self._next_expiry = boundary
+                return
+        for t in outputs:
+            if t.exp < boundary:
+                boundary = t.exp
+        self._next_expiry = boundary
+        self._deliver(outputs, now)
+
+    def _deliver(self, outputs: list[Tuple], now: float) -> None:
+        view = self.compiled.view
+        subscribers = self._subscribers
+        for t in outputs:
+            view.apply(t, now)
+            for subscriber in subscribers:
+                subscriber(t, now)
+
+    def _maybe_lazy_purge(self, now: float) -> None:
+        """Purge lazily-maintained operators on a fixed-interval schedule
+        anchored at the first event's clock.
+
+        The schedule fires at ``anchor + k * interval`` for integer ``k``:
+        the anchor is recorded on the first event (without consuming a purge
+        opportunity), and after each purge ``_last_purge`` advances along the
+        grid rather than to the triggering event's clock, so sparse traces do
+        not drift the schedule late by up to one interval per purge.
+        """
+        interval = self._lazy_interval
+        if interval is None or not self._lazy_ops:
+            return
+        if self._last_purge is None:
+            self._last_purge = now  # anchor the schedule at trace start
+        if now - self._last_purge >= interval:
+            for op in self._lazy_ops:
+                op.purge(now)
+            if interval > 0:
+                # Stay on the anchored grid: jump to the latest scheduled
+                # point at or before ``now`` instead of re-anchoring at
+                # ``now``.
+                self._last_purge += interval * math.floor(
+                    (now - self._last_purge) / interval)
+            else:  # degenerate non-positive interval: purge every event
+                self._last_purge = now
+
+    # -- instrumentation layering ------------------------------------------
+
+    def arm_telemetry(self) -> None:
+        """(Re-)install the telemetry layer's step shadows (no-op when
+        telemetry is off or already disarmed)."""
+        if self._telemetry is None:
+            return
+        if self._layer is None:
+            self._layer = TelemetryLayer(self._telemetry, self.compiled)
+        self._layer.arm(self)
+
+    def disarm_telemetry(self) -> None:
+        """Disarm telemetry on this driver: removes every instrumented
+        step shadow and restores the pristine disabled hot path.  The
+        registry (``compiled.telemetry``) keeps whatever it has collected
+        and stays readable; it just stops growing.  Also the lever
+        benchmarks use to time the disabled code path under an armed
+        driver's identical heap layout (see benchmarks/overhead.py)."""
+        if self._telemetry is None:
+            return
+        if self._layer is not None:
+            self._layer.teardown(self)
+        self._telemetry = None
+
+    def record_run(self, elapsed: float) -> None:
+        """End-of-run totals: run timer, exact event/tuple gauges, final
+        state sample, then layer teardown (run() re-arms on re-entry)."""
+        registry = self._telemetry
+        registry.timer("run_seconds").add(elapsed)
+        registry.gauge("events_processed").set(self._events_processed)
+        registry.gauge("tuples_arrived").set(self._tuples_arrived)
+        self._layer.sample(self)
+        self._layer.teardown(self)
+
+    def finalize_telemetry(self):
+        """Final sample + exact totals + teardown for drivers finished by
+        an outer runtime (shard workers, group members, shared producers).
+        Returns the registry, or None when telemetry never armed."""
+        registry = self.compiled.telemetry
+        if registry is None or self._layer is None:
+            return None
+        self._layer.sample(self)
+        registry.gauge("events_processed").set(self._events_processed)
+        registry.gauge("tuples_arrived").set(self._tuples_arrived)
+        self._layer.teardown(self)
+        return registry
+
+
+class TelemetryLayer:
+    """Duty-cycled timing instrumentation wrapped around program steps.
+
+    Telemetry is opt-in (``ExecutionConfig(telemetry=True)``) and installed
+    by *instance-attribute shadowing*: the Driver's class-level step methods
+    stay pristine for the default disabled path, and :meth:`arm` swaps the
+    layer's instrumented step variants onto one driver only.  The variants
+    replicate the plain control flow exactly — in particular the timed
+    route propagation keeps the expiration-boundary folding byte-for-byte —
+    and add only perf_counter reads plus HistogramMetric.add calls, so
+    answers, output streams and legacy counters are unchanged.
+
+    Timers are *duty-cycled*: perf_counter pairs per operator stage are too
+    expensive to take on every event in pure Python, so only one event
+    (per-tuple mode) or one batch (micro-batch mode) in ``timer_every``
+    runs with the timed variants installed; the rest run the plain class
+    methods.  Histograms therefore hold a uniform ~1/N sample of spans —
+    relative per-operator cost is preserved while enabled overhead stays
+    within the <5% budget (see benchmarks/overhead.py).  Counters, gauges
+    and end-of-run totals are exact, never sampled.
+
+    The installed shadows are closures over (layer, driver) — reference
+    cycles — so finalizers tear them down again (:meth:`teardown`) to keep
+    finished drivers refcount-collectable; ``Executor.run()`` re-arms on
+    re-entry.
+    """
+
+    name = "telemetry"
+
+    #: Per-tuple mode samples state depths every N *timed* expiration
+    #: passes; batched mode samples once per timed batch.
+    sample_every = 32
+    #: Timer duty cycle: 1 expiration pass (per-tuple mode; one runs
+    #: before every event) or batch (micro-batch mode) in N runs the
+    #: timed variants.  The countdown lives inside the cycled
+    #: expiration-pass shadow so untimed events pay exactly one extra
+    #: function call over the disabled path.
+    timer_every = 32
+
+    def __init__(self, registry, compiled):
+        self.registry = registry
+        self._pass_timer = registry.timer("expiration_pass_seconds")
+        self._pass_gauge = registry.gauge("expiration_pass_last_seconds")
+        self._view_gauge = registry.gauge("view_results")
+        self._state_gauge = registry.gauge("state_tuples_total")
+        self._state_peak = registry.gauge("state_tuples_peak")
+        self._samples = registry.counter("telemetry_samples_total")
+        self._sample_ops = [(op, compiled.op_state_gauges[id(op)])
+                            for op in compiled.ops.values()
+                            if id(op) in compiled.op_state_gauges]
+        self._sample_tick = 0
+        self._timer_tick = 0
+        #: Step shadows for the current armed lifetime (built by arm()).
+        self._steps: tuple = ()
+
+    # -- install / remove --------------------------------------------------
+
+    def arm(self, driver: Driver) -> None:
+        """Install the duty-cycling step shadows (initially inside a timed
+        window) on ``driver``."""
+        layer = self
+
+        def propagate(source, outputs, now):
+            layer._timed_propagate(driver, source, outputs, now)
+
+        def propagate_route(route, outputs, now):
+            layer._timed_propagate_route(driver, route, outputs, now)
+
+        def dispatch_arrival(event, now, tracked=False):
+            layer._timed_dispatch_arrival(driver, event, now, tracked)
+
+        def expiration_pass(now):
+            # Duty-cycling shadow of Driver._expiration_pass: runs the
+            # timed pass on one call in timer_every and the plain pass
+            # otherwise, toggling the other timed shadows on the same
+            # cycle.  The untimed branch inlines the plain pass body
+            # rather than calling it: in per-tuple mode this shadow runs
+            # once per event, and the saved call frame is the difference
+            # between ~2% and ~7% enabled overhead on the cheapest
+            # workloads (keep the two bodies in sync).
+            tick = layer._timer_tick - 1
+            if tick > 0:
+                layer._timer_tick = tick
+                if driver._timing:
+                    layer._set(driver, False)
+                propagate_plain = driver._propagate
+                for op in driver._expire_ops:
+                    outputs = op.expire(now)
+                    propagate_plain(op, outputs, now)
+                driver.compiled.view.purge(now)
+                return
+            layer._timer_tick = layer.timer_every
+            if not driver._timing:
+                layer._set(driver, True)
+            layer._timed_pass(driver, now)
+
+        self._steps = (propagate, propagate_route, dispatch_arrival)
+        self._timer_tick = 1  # first pass/batch is timed
+        self._set(driver, True)
+        # Installed for the armed lifetime; _set never touches it.
+        driver._expiration_pass = expiration_pass
+        if self.name not in driver.program.layers:
+            driver.program.layers.append(self.name)
+
+    def teardown(self, driver: Driver) -> None:
+        """Remove every installed step shadow (they are closures over the
+        driver, i.e. driver → closure → driver cycles) so a finished armed
+        driver is freed by reference counting like a disabled one."""
+        if driver._timing:
+            self._set(driver, False)
+        driver.__dict__.pop("_expiration_pass", None)
+        self._steps = ()
+
+    def _set(self, driver: Driver, timing: bool) -> None:
+        """Install (or remove) the timed step shadows for this window."""
+        if timing:
+            driver._timing = True
+            propagate, propagate_route, dispatch_arrival = self._steps
+            driver._propagate = propagate
+            driver._propagate_route = propagate_route
+            driver._dispatch_arrival = dispatch_arrival
+        else:
+            driver._timing = False
+            del driver._propagate
+            del driver._propagate_route
+            del driver._dispatch_arrival
+
+    def advance(self, driver: Driver) -> bool:
+        """Advance the timer duty cycle by one window; returns whether the
+        new window is a timed one.  Called once per micro-batch — plans
+        without eager state never run an expiration pass in batched mode,
+        so the cycled pass alone could not advance the cycle there."""
+        tick = self._timer_tick - 1
+        if tick > 0:
+            self._timer_tick = tick
+            if driver._timing:
+                self._set(driver, False)
+            return False
+        self._timer_tick = self.timer_every
+        if not driver._timing:
+            self._set(driver, True)
+        return True
+
+    # -- timed step variants ----------------------------------------------
+
+    def _timed_propagate(self, driver: Driver, source, outputs, now) -> None:
+        if not outputs:
+            return
+        timers = driver.compiled.op_timers
+        perf = time.perf_counter
+        t0 = perf()
+        for parent, slot in driver._routes[id(source)]:
+            outputs = parent.process_batch(slot, outputs, now)
+            t1 = perf()  # chained reads: N+1 clock calls for N stages
+            timers[id(parent)].add(t1 - t0)
+            t0 = t1
+            if not outputs:
+                return
+        driver._deliver(outputs, now)
+
+    def _timed_propagate_route(self, driver: Driver, route, outputs,
+                               now) -> None:
+        # Exact replica of Driver._propagate_route's boundary folding,
+        # with one timer charge per route stage.
+        timers = driver.compiled.op_timers
+        perf = time.perf_counter
+        boundary = driver._next_expiry
+        t0 = perf()
+        for parent, slot in route:
+            for t in outputs:
+                if t.exp < boundary:
+                    boundary = t.exp
+            outputs = parent.process_batch(slot, outputs, now)
+            t1 = perf()
+            timers[id(parent)].add(t1 - t0)
+            t0 = t1
+            if not outputs:
+                driver._next_expiry = boundary
+                return
+        for t in outputs:
+            if t.exp < boundary:
+                boundary = t.exp
+        driver._next_expiry = boundary
+        driver._deliver(outputs, now)
+
+    def _timed_pass(self, driver: Driver, now: float) -> None:
+        expire_timers = driver.compiled.op_expire_timers
+        propagate = driver._propagate  # the timed variant, via instance attr
+        perf = time.perf_counter
+        pass_start = perf()
+        for op in driver._expire_ops:
+            t0 = perf()
+            outputs = op.expire(now)
+            expire_timers[id(op)].add(perf() - t0)
+            propagate(op, outputs, now)
+        driver.compiled.view.purge(now)
+        elapsed = perf() - pass_start
+        self._pass_timer.add(elapsed)
+        self._pass_gauge.set(elapsed)
+        self._sample_tick += 1
+        if self._sample_tick >= self.sample_every:
+            self._sample_tick = 0
+            self.sample(driver)
+
+    def _timed_dispatch_arrival(self, driver: Driver, event, now,
+                                tracked=False) -> None:
+        leaves = driver._leaf_bindings.get(event.stream)
+        if not leaves:
+            return
+        timers = driver.compiled.op_timers
+        perf = time.perf_counter
+        propagate = (driver._propagate_tracked if tracked
+                     else driver._propagate)
+        for leaf in leaves:
+            t0 = perf()
+            stamped = leaf.stamp(event.values, now, now)
+            outputs = leaf.process(0, stamped, now)
+            timers[id(leaf)].add(perf() - t0)
+            propagate(leaf, outputs, now)
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample(self, driver: Driver) -> None:
+        """Sample per-operator state depths and the result-view size.
+
+        Gauges hold the last sample (``set``) plus a high-water mark
+        (``set_max``); the sharded merge sums them, so totals decompose
+        across shards like every other metric.
+        """
+        total = 0
+        for op, gauge in self._sample_ops:
+            size = op.state_size()
+            gauge.set(size)
+            total += size
+        self._state_gauge.set(total)
+        self._state_peak.set_max(total)
+        self._view_gauge.set(len(driver.compiled.view))
+        self._samples.inc()

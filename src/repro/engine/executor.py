@@ -1,60 +1,35 @@
-"""Tuple-at-a-time and micro-batch continuous query executor.
+"""The `Executor` façade: one compiled program, one unified driver.
 
 Section 2's processing model: "Each new tuple is processed immediately by
 all the operators in the query before the next tuple is processed.
-Consequently, results are produced in timestamp order."  The executor
-replays a timestamp-ordered event sequence; before dispatching each event it
-runs an expiration pass (so the eager expiration interval equals the tuple
-inter-arrival time, the setting used in Section 6.1), and every
-``lazy_interval`` time units it lets lazily-maintained operators purge their
-state (default: 5% of the largest window, the paper's default).
+Consequently, results are produced in timestamp order."  The event loop
+that implements this — per-tuple and micro-batch, with the batched-mode
+exactness argument — lives in :mod:`repro.engine.driver`; the query's
+static shape (dispatch tables, fused prefixes, expiration participants,
+resolved routes) is compiled once into an
+:class:`~repro.engine.program.ExecutionProgram`.  ``Executor`` builds the
+program and driver for one :class:`CompiledQuery` and adds the run-level
+orchestration: wall-clock timing, sharded-execution delegation, drain
+verification for checked mode, and the :class:`RunResult` surface.
 
-Pure time advancement without arrivals is modelled with Tick events — the
-paper's observation that "the aggregate value changes as a result of
-expiration from the input" even when nothing arrives.
-
-Micro-batch execution (``run(events, batch=N)``) amortizes the per-event
-overhead — the bottom-up expiration pass, the result-view purge, and the
-per-tuple propagation walk — over groups of ``N`` consecutive events while
-producing *byte-identical* output streams, view snapshots, and expiration
-counters.  The exactness argument (see DESIGN.md):
-
-* The per-tuple expiration pass at clock ``n`` emits output only when some
-  eagerly-maintained tuple has ``exp <= n`` that was not yet expired; all
-  other passes are no-ops.  The batched path therefore tracks a conservative
-  *expiration boundary* — the minimum ``exp`` over all eager operator state,
-  lowered further by every tuple that flows during the batch (any flowing
-  tuple may be absorbed into eager state) — and runs a full expiration pass,
-  at exactly the per-tuple triggering clock, whenever an event's clock
-  reaches the boundary.  Passes skipped between boundary crossings are
-  provably no-ops, so the emitted streams are identical event for event.
-* The result view's timestamp purge produces no output and answer snapshots
-  filter by liveness, so the view is purged once per batch (and at every
-  expiration pass) instead of per event; the ``expirations`` counter
-  equalizes at every batch boundary because both schedules have purged
-  exactly the results with ``exp <= clock``.
-* Lazy-purge scheduling is a pure function of event clocks, so the batched
-  path replays the per-event decisions verbatim; purge timing is unchanged.
-
-Only the *touches*/*probes* counters may differ between the two paths — the
-amortization is precisely the removal of that redundant per-event work.
+Shared groups (``sharing.py``) and shard workers (``shard.py``) drive the
+same programs through the same driver — there is exactly one propagate /
+expire / dispatch implementation in the engine.
 """
 
 from __future__ import annotations
 
-import math
 import time
+import warnings
 from itertools import islice
 from typing import Callable, Iterable, Sequence
 
 from ..analysis.sanitizer import verify_drain
-from ..core.tuples import Tuple
 from ..errors import ExecutionError
-from ..streams.relation import NRR
-from ..streams.stream import Arrival, Event, RelationUpdate, Tick
+from ..streams.stream import Event
+from .driver import Driver
+from .program import build_program
 from .strategies import CompiledQuery
-from ..operators.base import PhysicalOperator
-from ..operators.stateless import WindowOp
 
 
 class RunResult:
@@ -107,11 +82,15 @@ class RunResult:
         return self.counters.touches / self.tuples_arrived
 
     def touches_per_event(self) -> float:
-        """Backwards-compatible alias for :meth:`touches_per_tuple`.
+        """Deprecated alias for :meth:`touches_per_tuple`.
 
         Historical name; the denominator was corrected to count stream
-        arrivals rather than all timeline events.
+        arrivals rather than all timeline events.  Scheduled for removal.
         """
+        warnings.warn(
+            "RunResult.touches_per_event() is deprecated; use "
+            "touches_per_tuple() (same value, corrected name)",
+            DeprecationWarning, stacklevel=2)
         return self.touches_per_tuple()
 
     def __repr__(self) -> str:
@@ -123,45 +102,71 @@ class RunResult:
 
 
 class Executor:
-    """Drives a compiled query over an event sequence."""
+    """Drives a compiled query over an event sequence.
 
-    #: True only while the (sampled) timed telemetry variants are installed;
-    #: a class-level default so the disabled path never allocates it.
-    _timing = False
+    A thin façade: the compiled query is flattened into an
+    :class:`~repro.engine.program.ExecutionProgram` and run by a
+    :class:`~repro.engine.driver.Driver`; this class only adds run-level
+    orchestration (timing, shard delegation, drain checks, RunResult).
+    """
 
     def __init__(self, compiled: CompiledQuery):
         self.compiled = compiled
-        self.now: float = -math.inf
-        self._seq: dict[str, int] = {}
-        self._last_purge: float | None = None
-        self._events_processed = 0
-        self._tuples_arrived = 0
-        self._subscribers: list = []
-        #: Conservative lower bound on the next eager expiration; only
-        #: maintained inside :meth:`process_batch` (the per-tuple path runs
-        #: an expiration pass before every event and needs no boundary).
-        self._next_expiry: float = -math.inf
-        #: stream name -> fused dispatch plans (see _fused_routes_for).
-        self._fused_routes: dict[str, list] = {}
-        span = compiled.max_span
-        interval = compiled.config.lazy_interval
-        if interval is None and span is not None:
-            interval = 0.05 * span
-        self._lazy_interval = interval
-        #: Telemetry (None when off).  When armed, the instrumented method
-        #: variants shadow the plain ones via instance attributes — the
-        #: disabled hot path keeps its original code with zero telemetry
-        #: branches or allocations.
-        self._telemetry = compiled.telemetry
-        if self._telemetry is not None:
-            self._install_telemetry()
+        self.program = build_program(compiled)
+        self.driver = Driver(compiled, self.program)
 
-    # -- public API ------------------------------------------------------------
+    # -- driver surface ----------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.driver.now
+
+    @now.setter
+    def now(self, value: float) -> None:
+        self.driver.now = value
 
     @property
     def tuples_arrived(self) -> int:
-        """Stream arrivals processed so far (the per-1000-tuples denominator)."""
-        return self._tuples_arrived
+        """Stream arrivals processed so far (the per-1000-tuples
+        denominator)."""
+        return self.driver._tuples_arrived
+
+    @property
+    def _events_processed(self) -> int:
+        return self.driver._events_processed
+
+    @property
+    def _lazy_interval(self) -> float | None:
+        return self.driver._lazy_interval
+
+    @property
+    def _telemetry(self):
+        return self.driver._telemetry
+
+    def subscribe(self, callback) -> None:
+        """Receive the query's *output stream* (see
+        :meth:`~repro.engine.driver.Driver.subscribe`)."""
+        self.driver.subscribe(callback)
+
+    def answer(self):
+        """Current result multiset Q(now)."""
+        return self.driver.answer()
+
+    def process_event(self, event: Event) -> None:
+        """Advance the clock, expire state, then dispatch one event."""
+        self.driver.process_event(event)
+
+    def process_batch(self, events: Sequence[Event]) -> None:
+        """Process a micro-batch with one amortized expiration schedule
+        (see :meth:`~repro.engine.driver.Driver.process_batch`)."""
+        self.driver.process_batch(events)
+
+    def disarm_telemetry(self) -> None:
+        """Disarm telemetry (see
+        :meth:`~repro.engine.driver.Driver.disarm_telemetry`)."""
+        self.driver.disarm_telemetry()
+
+    # -- run orchestration -------------------------------------------------
 
     def run(self, events: Iterable[Event],
             on_event: Callable[["Executor", Event], None] | None = None,
@@ -171,10 +176,10 @@ class Executor:
 
         ``batch=N`` (N > 1) selects the micro-batch path: events are grouped
         into runs of at most ``N`` and each run shares one amortized
-        expiration schedule (see the module docstring for the exactness
-        argument).  ``batch=None`` or ``1`` is the paper's tuple-at-a-time
-        model.  Both paths produce identical output streams, snapshots and
-        expiration counters.
+        expiration schedule (see :mod:`repro.engine.driver` for the
+        exactness argument).  ``batch=None`` or ``1`` is the paper's
+        tuple-at-a-time model.  Both paths produce identical output
+        streams, snapshots and expiration counters.
 
         ``shards=k`` (k > 1) selects key-sharded parallel execution (see
         :mod:`repro.engine.shard`): the plan is analysed for
@@ -186,9 +191,10 @@ class Executor:
         ``fallback_reason`` explains why.  Answers and per-instant output
         multisets are identical to unsharded execution.
         """
-        if (self._telemetry is not None
-                and "_expiration_pass" not in self.__dict__):
-            self._telemetry_arm()  # re-entry after a prior run's teardown
+        driver = self.driver
+        if (driver._telemetry is not None
+                and "_expiration_pass" not in driver.__dict__):
+            driver.arm_telemetry()  # re-entry after a prior run's teardown
         if shards is not None and shards > 1:
             from .shard import ShardedExecutor, ShardedRunResult
             from ..core.sharding import analyze_partitionability
@@ -203,29 +209,34 @@ class Executor:
                 # executor object stays the live one, and record the reason.
                 result = self.run(events, batch=batch)
                 return ShardedRunResult.fallback(result, part.reason, part)
-            if self._events_processed:
+            if driver._events_processed:
                 raise ExecutionError(
                     "sharded execution needs a fresh pipeline; this executor "
                     "has already processed events")
             sharded = ShardedExecutor(
                 self.compiled.root, self.compiled.config,
                 shards=shards, backend=shard_backend)
-            for callback in self._subscribers:
+            for callback in driver._subscribers:
                 sharded.subscribe(callback)
             return sharded.run(events, batch=batch)
         start = time.perf_counter()
         if batch is None or batch <= 1:
-            for event in events:
-                self.process_event(event)
-                if on_event is not None:
+            process_event = driver.process_event
+            if on_event is None:
+                for event in events:
+                    process_event(event)
+            else:
+                for event in events:
+                    process_event(event)
                     on_event(self, event)
         else:
+            process_batch = driver.process_batch
             iterator = iter(events)
             while True:
                 chunk = list(islice(iterator, batch))
                 if not chunk:
                     break
-                self.process_batch(chunk)
+                process_batch(chunk)
                 if on_event is not None:
                     for event in chunk:
                         on_event(self, event)
@@ -233,604 +244,7 @@ class Executor:
         # Checked execution: assert counter conservation on every monitored
         # buffer now that the event stream is exhausted (no-op otherwise).
         verify_drain(self.compiled)
-        if self._telemetry is not None:
-            self._record_run(elapsed)
-        return RunResult(self, elapsed, self._events_processed,
-                         self._tuples_arrived)
-
-    def process_event(self, event: Event) -> None:
-        """Advance the clock, expire state, then dispatch one event."""
-        now = self._clock_for(event)
-        if now < self.now:
-            raise ExecutionError(
-                f"out-of-order event: ts {now} after clock {self.now} "
-                "(the model assumes non-decreasing timestamps, Section 2)"
-            )
-        self.now = now
-        self._events_processed += 1
-        self._expiration_pass(now)
-        if isinstance(event, Arrival):
-            self._tuples_arrived += 1
-            self._dispatch_arrival(event, now)
-        elif isinstance(event, RelationUpdate):
-            self._dispatch_relation_update(event, now)
-        elif isinstance(event, Tick):
-            pass  # time already advanced; the expiration pass did the work
-        else:  # pragma: no cover - event model is closed
-            raise ExecutionError(f"unknown event type {type(event).__name__}")
-        self._maybe_lazy_purge(now)
-
-    def process_batch(self, events: Sequence[Event]) -> None:
-        """Process a micro-batch of events with one amortized expiration
-        schedule.
-
-        The batch is implicitly split at every expiration boundary: an
-        expiration pass runs — at the clock of the event that crosses the
-        boundary, exactly as in tuple-at-a-time mode — whenever an event's
-        clock reaches the tracked minimum ``exp`` of eager state or of any
-        tuple that flowed earlier in the batch.  Lazy-purge decisions are
-        replayed per event, and the result view is purged once at the end of
-        the batch.
-        """
-        if not events:
-            return
-        # The loop below is the hot path of the batched mode; every self-
-        # attribute it needs is hoisted into a local, the clock computation
-        # is inlined for the (common) time domain, and arrival dispatch is
-        # inlined rather than going through _dispatch_arrival.  Decisions —
-        # clock advancement, boundary checks, lazy-purge scheduling — are
-        # still made per event, in the per-tuple order.
-        compiled = self.compiled
-        time_domain = compiled.time_domain != "count"
-        counters = compiled.counters
-        view = compiled.view
-        subscribers = self._subscribers
-        # Telemetry: advance the duty cycle BEFORE hoisting so the bound
-        # methods below resolve to this batch's (timed or plain) variants.
-        # The default (telemetry off) pays one falsy attribute test per
-        # batch setup.
-        if self._telemetry is not None:
-            self._telemetry_advance()
-        propagate = self._propagate_tracked
-        propagate_route = self._propagate_route
-        clock_for = self._clock_for
-        expiration_pass = self._expiration_pass
-        compute_next_expiry = self._compute_next_expiry
-        lazy_check = (self._lazy_interval is not None
-                      and bool(compiled.lazy_ops))
-        maybe_lazy_purge = self._maybe_lazy_purge
-        fused_routes = self._fused_routes
-        fused_routes_for = self._fused_routes_for
-        events_processed = self._events_processed
-        tuples_arrived = self._tuples_arrived
-        # Timed batches only (1 in _timer_every): one local None-check per
-        # arrival-plan; untimed and disabled batches hoist a plain None.
-        op_timers = compiled.op_timers if self._timing else None
-        perf = time.perf_counter
-        self._next_expiry = compute_next_expiry()
-        try:
-            for event in events:
-                now = event.ts if time_domain else clock_for(event)
-                if now < self.now:
-                    raise ExecutionError(
-                        f"out-of-order event: ts {now} after clock "
-                        f"{self.now} (the model assumes non-decreasing "
-                        "timestamps, Section 2)"
-                    )
-                self.now = now
-                events_processed += 1
-                if now >= self._next_expiry:
-                    # Boundary crossed: run the full pass at this event's
-                    # clock (identical to the per-tuple trigger), then
-                    # re-anchor the boundary on the surviving eager state.
-                    expiration_pass(now)
-                    self._next_expiry = compute_next_expiry()
-                if isinstance(event, Arrival):
-                    tuples_arrived += 1
-                    plans = fused_routes.get(event.stream)
-                    if plans is None:
-                        plans = fused_routes_for(event.stream)
-                    for leaf, is_window, prefix, suffix in plans:
-                        if op_timers is not None:
-                            t0 = perf()
-                        # ``now`` is already in the stamping domain (see
-                        # _dispatch_arrival).
-                        stamped = leaf.stamp(event.values, now, now)
-                        if not is_window:  # unexpected leaf type: generic
-                            outputs = leaf.process(0, stamped, now)
-                            if op_timers is not None:
-                                op_timers[id(leaf)].add(perf() - t0)
-                            if outputs:
-                                propagate(leaf, outputs, now)
-                            continue
-                        # Inlined WindowOp.process for a (positive)
-                        # arrival: clock advance, one tuples_processed
-                        # charge, store insertion under NT.
-                        if now > leaf.clock:
-                            leaf.clock = now
-                        counters.tuples_processed += 1
-                        store = leaf._store
-                        if store is not None:
-                            store.insert(stamped)
-                        # The stamped tuple may enter eager state (NT
-                        # window FIFO) even if a filter drops it upstream,
-                        # so it always lowers the expiration boundary.
-                        if stamped.exp < self._next_expiry:
-                            self._next_expiry = stamped.exp
-                        t = stamped
-                        alive = True
-                        for op, kind, arg in prefix:
-                            # Inlined stateless bookkeeping (scalar_kernel
-                            # contract): clock advance + one charge.
-                            if now > op.clock:
-                                op.clock = now
-                            counters.tuples_processed += 1
-                            if kind == "filter":
-                                if not arg(t.values):
-                                    alive = False
-                                    break
-                            elif kind == "map_indices":
-                                t = t.with_values(
-                                    tuple(t.values[i] for i in arg))
-                            # "pass": forward unchanged
-                        if op_timers is not None:
-                            # Fused mode attributes the stamp + insert +
-                            # inlined-prefix work to the leaf's timer; the
-                            # suffix route self-times via _propagate_route.
-                            op_timers[id(leaf)].add(perf() - t0)
-                        if not alive:
-                            continue
-                        if suffix:
-                            propagate_route(suffix, [t], now)
-                        else:
-                            view.apply(t, now)
-                            for subscriber in subscribers:
-                                subscriber(t, now)
-                elif isinstance(event, RelationUpdate):
-                    self._dispatch_relation_update(event, now, tracked=True)
-                elif isinstance(event, Tick):
-                    pass
-                else:  # pragma: no cover - event model is closed
-                    raise ExecutionError(
-                        f"unknown event type {type(event).__name__}")
-                if lazy_check:
-                    maybe_lazy_purge(now)
-        finally:
-            self._events_processed = events_processed
-            self._tuples_arrived = tuples_arrived
-        # One amortized view purge per batch: timestamp purging emits no
-        # output, so only its (deterministic) timing is batched.
-        compiled.view.purge(self.now)
-        # State-depth sampling rides the timer duty cycle: one batch in
-        # _timer_every (plus the final sample in _record_run / finalizers).
-        if self._timing:
-            self._telemetry_sample()
-
-    def answer(self):
-        """Current result multiset Q(now)."""
-        return self.compiled.view.snapshot(self.now)
-
-    def subscribe(self, callback) -> None:
-        """Receive the query's *output stream*: every real (insertion) and
-        negative (deletion) tuple, as in Definition 2.
-
-        The callback is invoked as ``callback(tuple, now)``.  Predictable
-        expirations are — by design — not signalled: each delivered tuple
-        carries its ``exp`` timestamp, and the update-pattern classification
-        exists precisely so consumers can manage such expirations themselves
-        (only unpredictable, strict non-monotonic deletions arrive as
-        negative tuples).
-        """
-        self._subscribers.append(callback)
-
-    # -- internals ---------------------------------------------------------------
-
-    def _clock_for(self, event: Event) -> float:
-        if self.compiled.time_domain != "count":
-            return event.ts
-        # Count-based windows: the clock is the count-stream's sequence
-        # number; it advances only on arrivals of that stream.
-        if (isinstance(event, Arrival)
-                and event.stream == self.compiled.count_stream):
-            self._seq[event.stream] = self._seq.get(event.stream, 0) + 1
-        return self._seq.get(self.compiled.count_stream, 0)
-
-    def _expiration_pass(self, now: float) -> None:
-        # Bottom-up: leaves (NT negatives) first, then eager operators; each
-        # operator's emissions are pushed all the way up before the next
-        # operator expires, so parents observe deletions in order.
-        for op in self.compiled.expire_ops:
-            outputs = op.expire(now)
-            self._propagate(op, outputs, now)
-        self.compiled.view.purge(now)
-
-    def _compute_next_expiry(self) -> float:
-        """Minimum pending ``exp`` across all eagerly-expired state.
-
-        This is the earliest clock at which a skipped expiration pass could
-        stop being a no-op.  Boundary queries are scheduling overhead, not
-        state-buffer work, so they are not charged as touches — the touch
-        metric keeps measuring the strategies' own maintenance cost.
-        """
-        now = self.now
-        boundary = math.inf
-        for op in self.compiled.expire_ops:
-            candidate = op.next_expiry(now)
-            if candidate < boundary:
-                boundary = candidate
-        return boundary
-
-    def _dispatch_arrival(self, event: Arrival, now: float,
-                          tracked: bool = False) -> None:
-        leaves = self.compiled.leaf_bindings.get(event.stream)
-        if not leaves:
-            return  # stream not referenced by this query
-        propagate = self._propagate_tracked if tracked else self._propagate
-        for leaf in leaves:
-            # ``now`` already lives in the stamping domain: _clock_for
-            # returns the event timestamp for time-based plans and the
-            # count-stream sequence number for count-based ones, which is
-            # exactly the value WindowOp.stamp expects for both the tuple
-            # timestamp and the expiry clock (the stamping contract is
-            # documented on WindowOp.stamp).
-            stamped = leaf.stamp(event.values, now, now)
-            outputs = leaf.process(0, stamped, now)
-            propagate(leaf, outputs, now)
-
-    def _dispatch_relation_update(self, event: RelationUpdate, now: float,
-                                  tracked: bool = False) -> None:
-        relation = self.compiled.relations.get(event.relation)
-        if relation is None:
-            raise ExecutionError(
-                f"relation {event.relation!r} is not referenced by the query"
-            )
-        if isinstance(relation, NRR):
-            # Non-retroactive: just version the table; no results change.
-            if event.op == RelationUpdate.INSERT:
-                relation.insert_at(now, event.values)
-            else:
-                relation.delete_at(now, event.values)
-            return
-        if event.op == RelationUpdate.INSERT:
-            relation.insert(event.values)
-        else:
-            relation.delete(event.values)
-        propagate = self._propagate_tracked if tracked else self._propagate
-        for op in self.compiled.relation_bindings.get(event.relation, ()):
-            if event.op == RelationUpdate.INSERT:
-                outputs = op.on_relation_insert(event.values, now)
-            else:
-                outputs = op.on_relation_delete(event.values, now)
-            propagate(op, outputs, now)
-
-    def _propagate(self, source: PhysicalOperator, outputs: list[Tuple],
-                   now: float) -> None:
-        if not outputs:
-            return
-        for parent, slot in self.compiled.route_of(source):
-            outputs = parent.process_batch(slot, outputs, now)
-            if not outputs:
-                return
-        self._deliver(outputs, now)
-
-    def _propagate_tracked(self, source: PhysicalOperator,
-                           outputs: list[Tuple], now: float) -> None:
-        """Propagate from ``source`` with expiration-boundary tracking."""
-        if not outputs:
-            return
-        self._propagate_route(self.compiled.route_of(source), outputs, now)
-
-    def _propagate_route(self, route, outputs: list[Tuple],
-                         now: float) -> None:
-        """Push ``outputs`` along ``route`` and lower the expiration
-        boundary by every flowing tuple's ``exp``.
-
-        Any tuple an operator stores was visible to the executor as some
-        stage's input or output, so folding the minimum over all stages
-        keeps ``_next_expiry`` a sound lower bound on newly-created eager
-        state.  Negative tuples are included too — harmlessly conservative
-        (an unnecessarily low boundary only schedules a no-op pass).
-        """
-        boundary = self._next_expiry
-        for parent, slot in route:
-            for t in outputs:
-                if t.exp < boundary:
-                    boundary = t.exp
-            outputs = parent.process_batch(slot, outputs, now)
-            if not outputs:
-                self._next_expiry = boundary
-                return
-        for t in outputs:
-            if t.exp < boundary:
-                boundary = t.exp
-        self._next_expiry = boundary
-        self._deliver(outputs, now)
-
-    def _fused_routes_for(self, stream: str) -> list:
-        """Build (and cache) the fused dispatch plans for one stream.
-
-        Each plan is ``(leaf, is_window, prefix, suffix)``: ``prefix`` is
-        the maximal chain of stateless operators directly above the leaf
-        that expose a :meth:`scalar_kernel` — inlined per tuple by the
-        batched arrival loop — and ``suffix`` is the remaining route, which
-        is dispatched through the generic (tracked) propagation path.
-        Fusing only reorders *how* the same per-tuple work is expressed;
-        outputs, state transitions and counter charges are unchanged.
-        """
-        plans = []
-        for leaf in self.compiled.leaf_bindings.get(stream, ()):
-            route = list(self.compiled.route_of(leaf))
-            prefix = []
-            split = 0
-            for parent, _slot in route:
-                kernel = parent.scalar_kernel()
-                if kernel is None:
-                    break
-                prefix.append((parent, kernel[0], kernel[1]))
-                split += 1
-            plans.append((leaf, isinstance(leaf, WindowOp), prefix,
-                          route[split:]))
-        self._fused_routes[stream] = plans
-        return plans
-
-    def _deliver(self, outputs: list[Tuple], now: float) -> None:
-        view = self.compiled.view
-        subscribers = self._subscribers
-        for t in outputs:
-            view.apply(t, now)
-            for subscriber in subscribers:
-                subscriber(t, now)
-
-    def _maybe_lazy_purge(self, now: float) -> None:
-        """Purge lazily-maintained operators on a fixed-interval schedule
-        anchored at the first event's clock.
-
-        The schedule fires at ``anchor + k * interval`` for integer ``k``:
-        the anchor is recorded on the first event (without consuming a purge
-        opportunity), and after each purge ``_last_purge`` advances along the
-        grid rather than to the triggering event's clock, so sparse traces do
-        not drift the schedule late by up to one interval per purge.
-        """
-        interval = self._lazy_interval
-        if interval is None or not self.compiled.lazy_ops:
-            return
-        if self._last_purge is None:
-            self._last_purge = now  # anchor the schedule at trace start
-        if now - self._last_purge >= interval:
-            for op in self.compiled.lazy_ops:
-                op.purge(now)
-            if interval > 0:
-                # Stay on the anchored grid: jump to the latest scheduled
-                # point at or before ``now`` instead of re-anchoring at
-                # ``now``.
-                self._last_purge += interval * math.floor(
-                    (now - self._last_purge) / interval)
-            else:  # degenerate non-positive interval: purge every event
-                self._last_purge = now
-
-    # -- telemetry ---------------------------------------------------------------
-    #
-    # Telemetry is opt-in (ExecutionConfig(telemetry=True)) and installed by
-    # *instance-attribute shadowing*: the class-level methods above stay
-    # pristine for the default disabled path, and an armed executor swaps
-    # the instrumented variants onto itself only.  The variants replicate
-    # the plain control flow exactly — in particular _propagate_route_timed
-    # keeps the expiration-boundary folding byte-for-byte — and add only
-    # perf_counter reads plus HistogramMetric.add calls, so answers, output
-    # streams and legacy counters are unchanged.
-    #
-    # Timers are *duty-cycled*: perf_counter pairs per operator stage are
-    # too expensive to take on every event in pure Python, so only one event
-    # (per-tuple mode) or one batch (micro-batch mode) in ``_timer_every``
-    # runs with the timed variants installed; the rest run the plain class
-    # methods.  Histograms therefore hold a uniform ~1/N sample of spans —
-    # relative per-operator cost is preserved while enabled overhead stays
-    # within the <5% budget (see benchmarks/overhead.py).  Counters, gauges
-    # and end-of-run totals are exact, never sampled.
-
-    def _install_telemetry(self) -> None:
-        registry = self._telemetry
-        compiled = self.compiled
-        self._pass_timer = registry.timer("expiration_pass_seconds")
-        self._pass_gauge = registry.gauge("expiration_pass_last_seconds")
-        self._view_gauge = registry.gauge("view_results")
-        self._state_gauge = registry.gauge("state_tuples_total")
-        self._state_peak = registry.gauge("state_tuples_peak")
-        self._samples = registry.counter("telemetry_samples_total")
-        self._sample_ops = [(op, compiled.op_state_gauges[id(op)])
-                            for op in compiled.ops.values()
-                            if id(op) in compiled.op_state_gauges]
-        #: Per-tuple mode samples state depths every N *timed* expiration
-        #: passes; batched mode samples once per timed batch.
-        self._sample_every = 32
-        self._sample_tick = 0
-        #: Timer duty cycle: 1 expiration pass (per-tuple mode; one runs
-        #: before every event) or batch (micro-batch mode) in N runs the
-        #: timed variants.  The countdown lives inside the cycled
-        #: expiration-pass shadow so untimed events pay exactly one extra
-        #: function call over the disabled path.
-        self._timer_every = 32
-        self._telemetry_arm()
-
-    def _telemetry_arm(self) -> None:
-        """Install the duty-cycling shadows (initially inside a timed
-        window).  The shadows are bound methods stored on the instance —
-        a reference cycle — so finalizers tear them down again
-        (:meth:`_telemetry_teardown`) to keep finished executors
-        refcount-collectable; ``run()`` re-arms on re-entry."""
-        self._timer_tick = 1  # first pass/batch is timed
-        self._telemetry_set(True)
-        # Installed for the armed lifetime; _telemetry_set never touches it.
-        self._expiration_pass = self._expiration_pass_cycled
-
-    def disarm_telemetry(self) -> None:
-        """Disarm telemetry on this executor: removes every instrumented
-        shadow and restores the pristine disabled hot path.  The registry
-        (``compiled.telemetry``) keeps whatever it has collected and stays
-        readable; it just stops growing.  Also the lever benchmarks use to
-        time the disabled code path under an armed executor's identical
-        heap layout (see benchmarks/overhead.py)."""
-        if self._telemetry is None:
-            return
-        self._telemetry_teardown()
-        self._telemetry = None
-
-    def _telemetry_teardown(self) -> None:
-        """Remove every instance-attribute shadow (they are bound methods,
-        i.e. executor → method → executor cycles) so a finished armed
-        executor is freed by reference counting like a disabled one."""
-        if self._timing:
-            self._telemetry_set(False)
-        self.__dict__.pop("_expiration_pass", None)
-
-    def _telemetry_set(self, timing: bool) -> None:
-        """Install (or remove) the timed method shadows for this window."""
-        if timing:
-            self._timing = True
-            self._propagate = self._propagate_timed
-            self._propagate_route = self._propagate_route_timed
-            self._dispatch_arrival = self._dispatch_arrival_timed
-        else:
-            self._timing = False
-            del self._propagate
-            del self._propagate_route
-            del self._dispatch_arrival
-
-    def _telemetry_advance(self) -> bool:
-        """Advance the timer duty cycle by one window; returns whether the
-        new window is a timed one.  Called once per micro-batch — plans
-        without eager state never run an expiration pass in batched mode,
-        so the cycled pass alone could not advance the cycle there."""
-        tick = self._timer_tick - 1
-        if tick > 0:
-            self._timer_tick = tick
-            if self._timing:
-                self._telemetry_set(False)
-            return False
-        self._timer_tick = self._timer_every
-        if not self._timing:
-            self._telemetry_set(True)
-        return True
-
-    def _expiration_pass_cycled(self, now: float) -> None:
-        """Duty-cycling shadow of _expiration_pass: runs the timed pass on
-        one call in _timer_every and the plain pass otherwise, toggling the
-        other timed shadows on the same cycle.  The untimed branch inlines
-        _expiration_pass's body rather than calling it: in per-tuple mode
-        this shadow runs once per event, and the saved call frame is the
-        difference between ~2% and ~7% enabled overhead on the cheapest
-        workloads (keep the two bodies in sync)."""
-        tick = self._timer_tick - 1
-        if tick > 0:
-            self._timer_tick = tick
-            if self._timing:
-                self._telemetry_set(False)
-            for op in self.compiled.expire_ops:
-                outputs = op.expire(now)
-                self._propagate(op, outputs, now)
-            self.compiled.view.purge(now)
-            return
-        self._timer_tick = self._timer_every
-        if not self._timing:
-            self._telemetry_set(True)
-        self._expiration_pass_timed(now)
-
-    def _propagate_timed(self, source: PhysicalOperator,
-                         outputs: list[Tuple], now: float) -> None:
-        if not outputs:
-            return
-        timers = self.compiled.op_timers
-        perf = time.perf_counter
-        t0 = perf()
-        for parent, slot in self.compiled.route_of(source):
-            outputs = parent.process_batch(slot, outputs, now)
-            t1 = perf()  # chained reads: N+1 clock calls for N stages
-            timers[id(parent)].add(t1 - t0)
-            t0 = t1
-            if not outputs:
-                return
-        self._deliver(outputs, now)
-
-    def _propagate_route_timed(self, route, outputs: list[Tuple],
-                               now: float) -> None:
-        # Exact replica of _propagate_route's boundary folding, with one
-        # timer charge per route stage.
-        timers = self.compiled.op_timers
-        perf = time.perf_counter
-        boundary = self._next_expiry
-        t0 = perf()
-        for parent, slot in route:
-            for t in outputs:
-                if t.exp < boundary:
-                    boundary = t.exp
-            outputs = parent.process_batch(slot, outputs, now)
-            t1 = perf()
-            timers[id(parent)].add(t1 - t0)
-            t0 = t1
-            if not outputs:
-                self._next_expiry = boundary
-                return
-        for t in outputs:
-            if t.exp < boundary:
-                boundary = t.exp
-        self._next_expiry = boundary
-        self._deliver(outputs, now)
-
-    def _expiration_pass_timed(self, now: float) -> None:
-        expire_timers = self.compiled.op_expire_timers
-        propagate = self._propagate  # the timed variant, via instance attr
-        perf = time.perf_counter
-        pass_start = perf()
-        for op in self.compiled.expire_ops:
-            t0 = perf()
-            outputs = op.expire(now)
-            expire_timers[id(op)].add(perf() - t0)
-            propagate(op, outputs, now)
-        self.compiled.view.purge(now)
-        elapsed = perf() - pass_start
-        self._pass_timer.add(elapsed)
-        self._pass_gauge.set(elapsed)
-        self._sample_tick += 1
-        if self._sample_tick >= self._sample_every:
-            self._sample_tick = 0
-            self._telemetry_sample()
-
-    def _dispatch_arrival_timed(self, event: Arrival, now: float,
-                                tracked: bool = False) -> None:
-        leaves = self.compiled.leaf_bindings.get(event.stream)
-        if not leaves:
-            return
-        timers = self.compiled.op_timers
-        perf = time.perf_counter
-        propagate = self._propagate_tracked if tracked else self._propagate
-        for leaf in leaves:
-            t0 = perf()
-            stamped = leaf.stamp(event.values, now, now)
-            outputs = leaf.process(0, stamped, now)
-            timers[id(leaf)].add(perf() - t0)
-            propagate(leaf, outputs, now)
-
-    def _telemetry_sample(self) -> None:
-        """Sample per-operator state depths and the result-view size.
-
-        Gauges hold the last sample (``set``) plus a high-water mark
-        (``set_max``); the sharded merge sums them, so totals decompose
-        across shards like every other metric.
-        """
-        total = 0
-        for op, gauge in self._sample_ops:
-            size = op.state_size()
-            gauge.set(size)
-            total += size
-        self._state_gauge.set(total)
-        self._state_peak.set_max(total)
-        self._view_gauge.set(len(self.compiled.view))
-        self._samples.inc()
-
-    def _record_run(self, elapsed: float) -> None:
-        registry = self._telemetry
-        registry.timer("run_seconds").add(elapsed)
-        registry.gauge("events_processed").set(self._events_processed)
-        registry.gauge("tuples_arrived").set(self._tuples_arrived)
-        self._telemetry_sample()
-        self._telemetry_teardown()
+        if driver._telemetry is not None:
+            driver.record_run(elapsed)
+        return RunResult(self, elapsed, driver._events_processed,
+                         driver._tuples_arrived)

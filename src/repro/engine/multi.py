@@ -212,22 +212,14 @@ class QueryGroup:
             verify_drain(producer.compiled)
         # Telemetry: members and producers are driven through
         # process_event/process_batch, so the end-of-run bookkeeping that
-        # Executor.run performs happens here (no-op with telemetry off).
+        # Executor.run performs (final sample, exact event/tuple gauges,
+        # layer teardown) happens on each pipeline's driver here (no-op
+        # with telemetry off).
         for name in self.names():
-            self._finalize_telemetry(self[name].executor)
+            self[name].executor.driver.finalize_telemetry()
         for producer in self.shared_producers():
-            self._finalize_telemetry(producer.executor)
+            producer.driver.finalize_telemetry()
         return GroupRunResult(self, elapsed, n, arrivals)
-
-    @staticmethod
-    def _finalize_telemetry(executor) -> None:
-        registry = executor.compiled.telemetry
-        if registry is None:
-            return
-        executor._telemetry_sample()
-        registry.gauge("events_processed").set(executor._events_processed)
-        registry.gauge("tuples_arrived").set(executor.tuples_arrived)
-        executor._telemetry_teardown()
 
     def answers(self) -> dict[str, dict]:
         """Current answer multiset of every member query."""

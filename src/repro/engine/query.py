@@ -62,8 +62,10 @@ class ContinuousQuery:
         plus a sharding marker — the per-stream routing keys a parallel
         run would use, or the reason the plan cannot be sharded — a lint
         verdict from the static rule catalogue
-        (:mod:`repro.analysis.planlint`), and a telemetry marker (armed
-        instrument count, or how to enable it)."""
+        (:mod:`repro.analysis.planlint`), a telemetry marker (armed
+        instrument count, or how to enable it), and the compiled
+        execution program's step summary
+        (:meth:`~repro.engine.program.ExecutionProgram.describe`)."""
         from ..analysis.planlint import lint_compiled
         from ..core.sharding import analyze_partitionability
 
@@ -79,7 +81,8 @@ class ContinuousQuery:
                             f"{ops} operators)")
         return (f"{tree}\n-- sharding: {verdict.describe()}"
                 f"\n-- lint: {report.summary()}"
-                f"\n-- metrics: {metrics_note}")
+                f"\n-- metrics: {metrics_note}"
+                f"\n-- program: {self.executor.program.describe()}")
 
     @property
     def mode(self) -> Mode:

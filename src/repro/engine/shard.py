@@ -73,7 +73,9 @@ from ..core.tuples import Tuple
 from ..errors import ExecutionError
 from ..streams.stream import Arrival, Event, RelationUpdate, Tick
 from ..analysis.sanitizer import verify_drain
+from .driver import Driver
 from .executor import Executor
+from .program import build_program
 from .strategies import ExecutionConfig, compile_plan
 
 #: Events shipped per backend step when no micro-batch size is given.
@@ -82,6 +84,17 @@ DEFAULT_CHUNK = 256
 SERIAL = "serial"
 PROCESS = "process"
 _BACKENDS = (SERIAL, PROCESS)
+
+
+def _compile_driver(plan: LogicalNode, config: ExecutionConfig) -> Driver:
+    """Compile one shard replica straight to a program-running driver.
+
+    Shard pipelines never need the Executor façade's run-level
+    orchestration (timing, shard delegation, RunResult) — the sharded
+    executor owns those — so workers ship and run the program directly.
+    """
+    compiled = compile_plan(plan, config)
+    return Driver(compiled, build_program(compiled))
 
 
 def stable_hash(value: object) -> int:
@@ -288,22 +301,19 @@ class _ShardFinal:
         self.metrics = metrics
 
 
-def _final_metrics(executor: Executor) -> list | None:
+def _final_metrics(driver: Driver) -> list | None:
     """Finish-time telemetry snapshot of one shard pipeline.
 
     Shard pipelines are driven through ``process_batch``/``process_event``
     rather than :meth:`Executor.run`, so the end-of-run bookkeeping that
-    ``run`` performs (final state sample, event/tuple gauges) happens here.
-    Returns plain snapshot records — what the process backend ships over
-    its pipe — or None when telemetry is off.
+    ``run`` performs (final state sample, event/tuple gauges, layer
+    teardown) happens via :meth:`Driver.finalize_telemetry`.  Returns plain
+    snapshot records — what the process backend ships over its pipe — or
+    None when telemetry is off.
     """
-    registry = executor.compiled.telemetry
+    registry = driver.finalize_telemetry()
     if registry is None:
         return None
-    executor._telemetry_sample()
-    registry.gauge("events_processed").set(executor._events_processed)
-    registry.gauge("tuples_arrived").set(executor.tuples_arrived)
-    executor._telemetry_teardown()
     return registry.snapshot()
 
 
@@ -311,54 +321,54 @@ def _final_metrics(executor: Executor) -> list | None:
 
 
 class _SerialShards:
-    """k in-process pipeline replicas fed round-robin in shard order.
+    """k in-process program replicas fed round-robin in shard order.
 
     The reference backend: no IPC, exact per-shard counters, and the
-    executor objects stay inspectable after the run (tests read the shard
+    driver objects stay inspectable after the run (tests read the shard
     views directly)."""
 
     def __init__(self, plan: LogicalNode, config: ExecutionConfig,
                  n_shards: int, batch: int | None, collect: bool):
         self._batch = batch
-        self.executors: list[Executor] = []
+        self.drivers: list[Driver] = []
         self._collectors: list[_ShardCollector] = []
         for _ in range(n_shards):
-            executor = Executor(compile_plan(plan, config))
+            driver = _compile_driver(plan, config)
             collector = _ShardCollector()
             if collect:
-                executor.subscribe(collector)
-            self.executors.append(executor)
+                driver.subscribe(collector)
+            self.drivers.append(driver)
             self._collectors.append(collector)
 
     def feed(self, per_shard: list[list[Event]]
              ) -> list[list[tuple[float, int, Tuple]]]:
         batch = self._batch
         outputs = []
-        for executor, collector, events in zip(
-                self.executors, self._collectors, per_shard):
+        for driver, collector, events in zip(
+                self.drivers, self._collectors, per_shard):
             if batch is not None and batch > 1:
-                executor.process_batch(events)
+                driver.process_batch(events)
             else:
-                process = executor.process_event
+                process = driver.process_event
                 for event in events:
                     process(event)
             outputs.append(collector.drain())
         return outputs
 
     def finish(self) -> list[_ShardFinal]:
-        for executor in self.executors:
+        for driver in self.drivers:
             # Checked execution: each replica owns its own sanitizer (the
             # replicas are driven through process_batch, not run()), so the
             # drain-time conservation check must run here.
-            verify_drain(executor.compiled)
+            verify_drain(driver.compiled)
         return [
-            _ShardFinal(executor.answer(),
-                        executor.compiled.counters.snapshot(),
-                        executor._events_processed,
-                        executor.tuples_arrived,
-                        executor.compiled.state_size(),
-                        _final_metrics(executor))
-            for executor in self.executors
+            _ShardFinal(driver.answer(),
+                        driver.compiled.counters.snapshot(),
+                        driver._events_processed,
+                        driver.tuples_arrived,
+                        driver.compiled.state_size(),
+                        _final_metrics(driver))
+            for driver in self.drivers
         ]
 
 
@@ -373,39 +383,45 @@ def _shard_worker_main(conn, plan: LogicalNode, config: ExecutionConfig,
     is reported as ``("err", message)`` and ends the worker.
     """
     try:
-        executor = Executor(compile_plan(plan, config))
+        driver = _compile_driver(plan, config)
         collector = _ShardCollector()
         if collect:
-            executor.subscribe(collector)
+            driver.subscribe(collector)
         while True:
             message = conn.recv()
             tag = message[0]
             if tag == "chunk":
                 events = [_decode_event(r) for r in message[1]]
                 if batch is not None and batch > 1:
-                    executor.process_batch(events)
+                    driver.process_batch(events)
                 else:
-                    process = executor.process_event
+                    process = driver.process_event
                     for event in events:
                         process(event)
                 conn.send(("out", _encode_outputs(collector.drain())))
             elif tag == "finish":
                 # Checked execution: violations raised here propagate to the
                 # parent as an ("err", ...) reply via the handler below.
-                verify_drain(executor.compiled)
+                verify_drain(driver.compiled)
                 conn.send((
                     "fin",
-                    list(executor.answer().items()),
-                    executor.compiled.counters.snapshot(),
-                    executor._events_processed,
-                    executor.tuples_arrived,
-                    executor.compiled.state_size(),
-                    _final_metrics(executor),
+                    list(driver.answer().items()),
+                    driver.compiled.counters.snapshot(),
+                    driver._events_processed,
+                    driver.tuples_arrived,
+                    driver.compiled.state_size(),
+                    _final_metrics(driver),
                 ))
                 conn.close()
                 return
             else:  # pragma: no cover - closed protocol
                 raise ExecutionError(f"unknown worker message {tag!r}")
+    # Broad catch is required at this worker boundary: ANY exception type —
+    # ExecutionError, PatternViolation, a predicate's ValueError, even
+    # MemoryError — must be serialized into an ("err", ...) reply, because
+    # an exception object cannot cross the pipe and an unreported death
+    # surfaces to the parent only as an opaque EOFError.  The regression
+    # test for this path is tests/test_failure_injection.py.
     except Exception as exc:  # pragma: no cover - exercised via parent raise
         try:
             conn.send(("err", f"{type(exc).__name__}: {exc}"))
@@ -561,7 +577,10 @@ class _ProcessShards(_WorkerPool):
 def _fork_available() -> bool:
     try:
         return "fork" in multiprocessing.get_all_start_methods()
-    except Exception:  # pragma: no cover - platform-specific
+    except (OSError, ValueError):  # pragma: no cover - platform-specific
+        # Exotic platforms can fail to enumerate start methods (no _posix
+        # support, restricted environments); treat that as "no fork" and
+        # let the caller degrade to the serial backend.
         return False
 
 
@@ -689,6 +708,13 @@ class ShardedRunResult:
         return self.counters.touches / self.tuples_arrived
 
     def touches_per_event(self) -> float:
+        """Deprecated alias for :meth:`touches_per_tuple` (mirrors
+        :meth:`RunResult.touches_per_event`).  Scheduled for removal."""
+        import warnings
+        warnings.warn(
+            "ShardedRunResult.touches_per_event() is deprecated; use "
+            "touches_per_tuple() (same value, corrected name)",
+            DeprecationWarning, stacklevel=2)
         return self.touches_per_tuple()
 
     def __repr__(self) -> str:
@@ -832,11 +858,11 @@ class _SerialGroupShards:
 
     def __init__(self, members, n_shards: int, batch: int | None):
         self._batch = batch
-        self.replicas: list[list[tuple[str, Executor]]] = []
+        self.replicas: list[list[tuple[str, Driver]]] = []
         for _ in range(n_shards):
             replica = [
-                (name, Executor(compile_plan(
-                    plan, config if config is not None else ExecutionConfig())))
+                (name, _compile_driver(
+                    plan, config if config is not None else ExecutionConfig()))
                 for name, plan, config in members
             ]
             self.replicas.append(replica)
@@ -845,23 +871,23 @@ class _SerialGroupShards:
         batch = self._batch
         for replica, events in zip(self.replicas, per_shard):
             if batch is not None and batch > 1:
-                for _name, executor in replica:
-                    executor.process_batch(events)
+                for _name, driver in replica:
+                    driver.process_batch(events)
             else:
                 for event in events:
-                    for _name, executor in replica:
-                        executor.process_event(event)
+                    for _name, driver in replica:
+                        driver.process_event(event)
 
     def finish(self) -> list[dict[str, tuple[Multiset, dict, list | None]]]:
         reports = []
         for replica in self.replicas:
-            for _name, executor in replica:
-                verify_drain(executor.compiled)
+            for _name, driver in replica:
+                verify_drain(driver.compiled)
             reports.append({
-                name: (executor.answer(),
-                       executor.compiled.counters.snapshot(),
-                       _final_metrics(executor))
-                for name, executor in replica
+                name: (driver.answer(),
+                       driver.compiled.counters.snapshot(),
+                       _final_metrics(driver))
+                for name, driver in replica
             })
         return reports
 
@@ -870,8 +896,8 @@ def _group_worker_main(conn, members, batch: int | None) -> None:
     """Worker loop for one forked group shard (all members, one shard)."""
     try:
         replica = [
-            (name, Executor(compile_plan(
-                plan, config if config is not None else ExecutionConfig())))
+            (name, _compile_driver(
+                plan, config if config is not None else ExecutionConfig()))
             for name, plan, config in members
         ]
         while True:
@@ -880,26 +906,30 @@ def _group_worker_main(conn, members, batch: int | None) -> None:
             if tag == "chunk":
                 events = [_decode_event(r) for r in message[1]]
                 if batch is not None and batch > 1:
-                    for _name, executor in replica:
-                        executor.process_batch(events)
+                    for _name, driver in replica:
+                        driver.process_batch(events)
                 else:
                     for event in events:
-                        for _name, executor in replica:
-                            executor.process_event(event)
+                        for _name, driver in replica:
+                            driver.process_event(event)
                 conn.send(("ok",))
             elif tag == "finish":
-                for _name, executor in replica:
-                    verify_drain(executor.compiled)
+                for _name, driver in replica:
+                    verify_drain(driver.compiled)
                 conn.send(("fin", [
-                    (name, list(executor.answer().items()),
-                     executor.compiled.counters.snapshot(),
-                     _final_metrics(executor))
-                    for name, executor in replica
+                    (name, list(driver.answer().items()),
+                     driver.compiled.counters.snapshot(),
+                     _final_metrics(driver))
+                    for name, driver in replica
                 ]))
                 conn.close()
                 return
             else:  # pragma: no cover - closed protocol
                 raise ExecutionError(f"unknown worker message {tag!r}")
+    # Broad catch required at the worker boundary (see _shard_worker_main):
+    # any exception type must be serialized into an ("err", ...) reply —
+    # exception objects cannot cross the pipe, and an unreported death
+    # reaches the parent only as an opaque EOFError.
     except Exception as exc:  # pragma: no cover - exercised via parent raise
         try:
             conn.send(("err", f"{type(exc).__name__}: {exc}"))

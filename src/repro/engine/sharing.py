@@ -70,10 +70,17 @@ from typing import Iterable, Sequence
 from ..core.annotate import annotate, explain, subtree_lag
 from ..core.fingerprint import fingerprint_all, shareable
 from ..core.metrics import Counters
-from ..core.plan import LogicalNode, SharedScan, WindowScan
+from ..core.plan import LogicalNode, SharedScan
 from ..errors import ExecutionError
 from ..streams.stream import Arrival, Event, RelationUpdate
-from .executor import Executor
+from .driver import Driver
+from .program import (
+    LeafStep,
+    MemberProgram,
+    OpStep,
+    build_member_program,
+    build_program,
+)
 from .query import ContinuousQuery
 from .strategies import ExecutionConfig, compile_plan
 from .views import ResultView
@@ -126,9 +133,12 @@ class SharedProducer:
         self.counters = Counters()
         self.compiled = compile_plan(subtree, config, self.counters)
         self.compiled.view = _SinkView()
-        self.executor = Executor(self.compiled)
+        # The producer runs the same compiled program the unified driver
+        # runs everywhere else; no façade is needed because the shared
+        # runtime owns run-level orchestration.
+        self.driver = Driver(self.compiled, build_program(self.compiled))
         self._captured: list = []
-        self.executor.subscribe(self._capture)
+        self.driver.subscribe(self._capture)
         #: Base streams the subtree reads — dispatch triggers on these.
         self.streams = frozenset(
             leaf.stream.name for leaf in subtree.leaves())
@@ -149,36 +159,37 @@ class SharedProducer:
         self._expire_done = False
         self._dispatch_done = False
 
-    def expire_once(self, now: float) -> Sequence:
-        """Run the producer's expiration pass at ``now`` (first caller only)
-        and return the recorded output delta for replay."""
+    def expire_delta(self, now: float) -> Sequence:
+        """Run the producer program's EXPIRE step at ``now`` (first caller
+        only) and return the recorded output delta for replay."""
         if not self._expire_done:
             self._expire_done = True
             self._captured = []
-            ex = self.executor
-            ex.now = now
-            ex._expiration_pass(now)
+            driver = self.driver
+            driver.now = now
+            driver._expiration_pass(now)
             self._expire_record = self._captured
         return self._expire_record
 
-    def dispatch_once(self, event: Arrival, now: float,
-                      tracked: bool = False) -> Sequence:
-        """Push ``event`` through the producer (first caller only) and
-        return the recorded output for replay into consumer ports."""
+    def dispatch_delta(self, event: Arrival, now: float,
+                       tracked: bool = False) -> Sequence:
+        """Run the producer program's DISPATCH step for ``event`` (first
+        caller only) and return the recorded output for replay into
+        consumer ports."""
         if not self._dispatch_done:
             self._dispatch_done = True
             self._captured = []
-            ex = self.executor
-            ex.now = now
-            ex._events_processed += 1
-            ex._tuples_arrived += 1
-            ex._dispatch_arrival(event, now, tracked=tracked)
+            driver = self.driver
+            driver.now = now
+            driver._events_processed += 1
+            driver._tuples_arrived += 1
+            driver._dispatch_arrival(event, now, tracked=tracked)
             self._dispatch_record = self._captured
         return self._dispatch_record
 
     def finish_event(self, now: float) -> None:
         """Producer-side lazy maintenance (purges never change output)."""
-        self.executor._maybe_lazy_purge(now)
+        self.driver._maybe_lazy_purge(now)
 
     def state_size(self) -> int:
         return self.compiled.state_size()
@@ -193,49 +204,23 @@ class _Member:
 
     def __init__(self, name: str, query: ContinuousQuery,
                  original_plan: LogicalNode, fused: bool,
-                 expire_program: list | None = None,
-                 dispatch_programs: dict | None = None,
-                 producers: list | None = None):
+                 program: MemberProgram | None = None):
         self.name = name
         self.query = query
         self.original_plan = original_plan
         self.fused = fused
-        #: Bottom-up interleave of own eager operators and producer-replay
-        #: slots — the residual-plan image of the full plan's expiration
-        #: pass order.
-        self.expire_program = expire_program or []
-        #: stream name -> ordered (leaf | port) dispatch slots.
-        self.dispatch_programs = dispatch_programs or {}
-        #: Producers this member consumes (with multiplicity).
-        self.producers = producers or []
+        #: The member's residual program (see
+        #: :func:`repro.engine.program.build_member_program`): the
+        #: bottom-up interleave of own eager operators, private leaves and
+        #: producer port fan-out — the residual-plan image of the full
+        #: plan's expiration/dispatch order.  None for private members
+        #: (their Executor drives its own program).
+        self.program = program
 
-
-def _build_member_programs(member_plan: LogicalNode, query: ContinuousQuery,
-                           producer_of: dict) -> tuple[list, dict, list]:
-    """Compile the expiration and dispatch programs for a fused member."""
-    compiled = query.compiled
-    port_by_scan = {id(scan): port for scan, port in compiled.shared_ports}
-    expire_ids = {id(op) for op in compiled.expire_ops}
-    expire_program: list = []
-    dispatch_programs: dict[str, list] = {}
-    producers: list[SharedProducer] = []
-    for node in member_plan.walk():  # children before parents: bottom-up
-        if isinstance(node, SharedScan):
-            producer = producer_of[node.fingerprint]
-            port = port_by_scan[id(node)]
-            producers.append(producer)
-            expire_program.append(("port", producer, port))
-            for stream in producer.streams:
-                dispatch_programs.setdefault(stream, []).append(
-                    ("port", producer, port))
-        else:
-            op = compiled.op_for(node)
-            if id(op) in expire_ids:
-                expire_program.append(("op", op, None))
-            if isinstance(node, WindowScan):
-                dispatch_programs.setdefault(node.stream.name, []).append(
-                    ("leaf", op, None))
-    return expire_program, dispatch_programs, producers
+    @property
+    def producers(self) -> tuple:
+        """Producers this member consumes (with multiplicity)."""
+        return self.program.producers if self.program is not None else ()
 
 
 class SharedRuntime:
@@ -310,9 +295,9 @@ class SharedRuntime:
             producer.begin_event()
         for member in self._members.values():
             if member.fused:
-                ex = member.query.executor
-                ex.now = now
-                ex._events_processed += 1
+                driver = member.query.executor.driver
+                driver.now = now
+                driver._events_processed += 1
                 self._member_expire(member, now)
                 self._member_dispatch(member, event, now)
             else:
@@ -354,24 +339,24 @@ class SharedRuntime:
                     # programs at this event's clock (identical to the
                     # per-tuple trigger), then re-anchor on surviving state.
                     for member in fused:
-                        member.query.executor.now = now
+                        member.query.executor.driver.now = now
                         self._member_expire(member, now)
                     boundary = self._recompute_boundary(fused, producers)
                 for member in fused:
-                    ex = member.query.executor
-                    ex.now = now
-                    ex._events_processed += 1
+                    driver = member.query.executor.driver
+                    driver.now = now
+                    driver._events_processed += 1
                     self._member_dispatch(member, event, now, tracked=True)
                 for producer in producers:
                     producer.finish_event(now)
                 # Tracked propagation only ever lowers the per-pipeline
                 # boundaries, so the group boundary is their minimum.
                 for member in fused:
-                    candidate = member.query.executor._next_expiry
+                    candidate = member.query.executor.driver._next_expiry
                     if candidate < boundary:
                         boundary = candidate
                 for producer in producers:
-                    candidate = producer.executor._next_expiry
+                    candidate = producer.driver._next_expiry
                     if candidate < boundary:
                         boundary = candidate
             for member in fused:
@@ -391,56 +376,60 @@ class SharedRuntime:
     def _recompute_boundary(self, fused: list, producers: list) -> float:
         boundary = math.inf
         for producer in producers:
-            ex = producer.executor
-            ex._next_expiry = ex._compute_next_expiry()
-            if ex._next_expiry < boundary:
-                boundary = ex._next_expiry
+            driver = producer.driver
+            driver._next_expiry = driver._compute_next_expiry()
+            if driver._next_expiry < boundary:
+                boundary = driver._next_expiry
         for member in fused:
-            ex = member.query.executor
-            ex._next_expiry = ex._compute_next_expiry()
-            if ex._next_expiry < boundary:
-                boundary = ex._next_expiry
+            driver = member.query.executor.driver
+            driver._next_expiry = driver._compute_next_expiry()
+            if driver._next_expiry < boundary:
+                boundary = driver._next_expiry
         return boundary
 
     def _member_expire(self, member: _Member, now: float) -> None:
         """Replay the full plan's bottom-up expiration pass: own eager
-        operators in residual-walk order, producer deltas at the exact
-        position the shared subtree occupied."""
-        ex = member.query.executor
-        for kind, a, b in member.expire_program:
-            if kind == "op":
-                outputs = a.expire(now)
-                ex._propagate(a, outputs, now)
-            else:  # ("port", producer, port)
-                deltas = a.expire_once(now)
+        operators in residual-walk order, producer deltas fanned into the
+        port at the exact position the shared subtree occupied."""
+        driver = member.query.executor.driver
+        for step in member.program.expire_steps:
+            if type(step) is OpStep:
+                op = step.op
+                outputs = op.expire(now)
+                driver._propagate(op, outputs, now)
+            else:  # PortStep
+                deltas = step.producer.expire_delta(now)
                 if deltas:
-                    ex._propagate(b, list(deltas), now)
-        ex.compiled.view.purge(now)
+                    driver._propagate(step.port, list(deltas), now)
+        driver.compiled.view.purge(now)
 
     def _member_dispatch(self, member: _Member, event: Event, now: float,
                          tracked: bool = False) -> None:
-        ex = member.query.executor
+        driver = member.query.executor.driver
         if isinstance(event, Arrival):
-            ex._tuples_arrived += 1
-            propagate = ex._propagate_tracked if tracked else ex._propagate
-            slots = member.dispatch_programs.get(event.stream)
-            if slots:
-                for kind, a, b in slots:
-                    if kind == "leaf":
-                        # Same stamping contract as Executor._dispatch_arrival:
+            driver._tuples_arrived += 1
+            propagate = (driver._propagate_tracked if tracked
+                         else driver._propagate)
+            steps = member.program.dispatch_tables.get(event.stream)
+            if steps:
+                for step in steps:
+                    if type(step) is LeafStep:
+                        # Same stamping contract as Driver._dispatch_arrival:
                         # ``now`` is the stamping-domain clock (fused members
                         # are always time-domain; count windows stay private).
-                        stamped = a.stamp(event.values, now, now)
-                        outputs = a.process(0, stamped, now)
-                        propagate(a, outputs, now)
-                    else:  # ("port", producer, port)
-                        outs = a.dispatch_once(event, now, tracked=tracked)
+                        leaf = step.leaf
+                        stamped = leaf.stamp(event.values, now, now)
+                        outputs = leaf.process(0, stamped, now)
+                        propagate(leaf, outputs, now)
+                    else:  # PortStep
+                        outs = step.producer.dispatch_delta(
+                            event, now, tracked=tracked)
                         if outs:
-                            propagate(b, list(outs), now)
+                            propagate(step.port, list(outs), now)
         elif isinstance(event, RelationUpdate):
-            ex._dispatch_relation_update(event, now, tracked=tracked)
+            driver._dispatch_relation_update(event, now, tracked=tracked)
         # Tick: the clock already advanced; expiration did the work.
-        ex._maybe_lazy_purge(now)
+        driver._maybe_lazy_purge(now)
 
     # -- introspection -----------------------------------------------------
 
@@ -580,12 +569,9 @@ def build_shared_runtime(
             runtime.add_private(name, plan, config)
             continue
         query = ContinuousQuery(residual, config)
-        expire_program, dispatch_programs, producers = \
-            _build_member_programs(residual, query, producer_of_fp)
+        program = build_member_program(
+            query.compiled,
+            lambda node, _by_fp=producer_of_fp: _by_fp[node.fingerprint])
         runtime._members[name] = _Member(
-            name, query, plan, fused=True,
-            expire_program=expire_program,
-            dispatch_programs=dispatch_programs,
-            producers=producers,
-        )
+            name, query, plan, fused=True, program=program)
     return runtime

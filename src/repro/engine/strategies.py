@@ -209,6 +209,10 @@ class CompiledQuery:
         self.op_state_gauges: dict[int, object] = {}
         #: id(op) -> (stable op id, operator kind, pattern class) labels.
         self.op_meta: dict[int, tuple[str, str, str]] = {}
+        #: The flattened ExecutionProgram (set by engine.program.
+        #: build_program when a driver is constructed; the PRG6xx lint
+        #: rules and the ``-- program:`` explain footer inspect it).
+        self.program = None
 
     def route_of(self, op: PhysicalOperator) -> list[tuple[PhysicalOperator, int]]:
         return self.routes[id(op)]

@@ -42,6 +42,7 @@ from repro.core.plan import (
 )
 from repro.core.sharding import Partitionability, analyze_partitionability
 from repro.core.tuples import Schema
+from repro.engine.program import build_program
 from repro.engine.strategies import (
     STR_NEGATIVE,
     ExecutionConfig,
@@ -235,6 +236,49 @@ def _dm502_redundant_distinct() -> LintReport:
     return lint(plan)
 
 
+# ---------------------------------------------------------------------------
+# PRG — tampered execution programs
+# ---------------------------------------------------------------------------
+
+def _prg601_missing_dispatch_table() -> LintReport:
+    """Build Query 1's execution program, then delete one stream's dispatch
+    table — the corruption a stale program cache would produce.  Every
+    arrival on that stream would silently vanish."""
+    plan = queries.query1(_GEN, WINDOW)
+    _config, compiled = _compiled(plan, mode=Mode.UPA)
+    program = build_program(compiled)
+    del program.dispatch[next(iter(program.dispatch))]
+    return lint_compiled(compiled)
+
+
+def _prg602_dropped_expire_participant() -> LintReport:
+    """Under NT both of Query 1's windows materialize and must self-expire;
+    drop one from the eager expiration program.  Its state would grow
+    without bound and no negative tuples would ever be emitted for it."""
+    plan = queries.query1(_GEN, WINDOW)
+    _config, compiled = _compiled(plan, mode=Mode.NT)
+    program = build_program(compiled)
+    program.expire_ops = program.expire_ops[:-1]
+    return lint_compiled(compiled)
+
+
+def _prg603_stateful_fused_prefix() -> LintReport:
+    """Promote the first generic-suffix operator of a dispatch route into
+    the fused scalar prefix.  The route is still covered in order (PRG601
+    stays silent), but the promoted operator exposes no scalar kernel —
+    fusing it would run it outside the expiration machinery."""
+    plan = queries.query1(_GEN, WINDOW)
+    _config, compiled = _compiled(plan, mode=Mode.UPA)
+    program = build_program(compiled)
+    stream, plans = next(iter(program.dispatch.items()))
+    dispatch_plan = plans[0]
+    (promoted, _slot), rest = dispatch_plan.suffix[0], dispatch_plan.suffix[1:]
+    program.dispatch[stream] = (dispatch_plan._replace(
+        prefix=dispatch_plan.prefix + ((promoted, "pass", None),),
+        suffix=rest),) + plans[1:]
+    return lint_compiled(compiled)
+
+
 #: Every case, in rule-catalogue order.  ``rule`` is the diagnostic the
 #: case must produce; other rules may legitimately fire alongside it (a
 #: lying SharedScan, for instance, trips both UP002 and UP001).
@@ -275,6 +319,15 @@ CORPUS: tuple[BadPlan, ...] = (
     BadPlan("redundant-distinct", "DM502",
             "duplicate elimination over already-distinct input",
             _dm502_redundant_distinct),
+    BadPlan("missing-dispatch-table", "PRG601",
+            "execution program lost one stream's dispatch table",
+            _prg601_missing_dispatch_table),
+    BadPlan("dropped-expire-participant", "PRG602",
+            "materialized window removed from the eager expiration program",
+            _prg602_dropped_expire_participant),
+    BadPlan("stateful-fused-prefix", "PRG603",
+            "kernel-less suffix operator promoted into the fused prefix",
+            _prg603_stateful_fused_prefix),
 )
 
 __all__ = ["BadPlan", "CORPUS", "WINDOW"]

@@ -102,7 +102,13 @@ class TestReadmeQuickstart:
         exec(compile(blocks[0], "README-lint", "exec"), namespace)
         assert namespace["report"].ok
         assert namespace["query"].compiled.sanitizer is not None
-        assert "-- lint: clean" in namespace["query"].explain()
+        explained = namespace["query"].explain()
+        assert "-- lint: clean (12 rules)" in explained
+        # The execution-program footer the README promises, verbatim up to
+        # the plan-dependent counts.
+        assert ("-- program: EXPIRE>DISPATCH>PROPAGATE>PURGE>DELIVER"
+                in explained)
+        assert "layers=checked" in explained
 
     def test_cli_examples_reference_real_subcommands(self):
         from repro.cli import main

@@ -132,7 +132,7 @@ class TestRunResult:
         assert result.events_processed == 2
         assert result.elapsed >= 0
         assert result.time_per_1000() >= 0
-        assert result.touches_per_event() >= 0
+        assert result.touches_per_tuple() >= 0
         assert result.counters.tuples_processed > 0
 
     def test_empty_run(self):
@@ -140,4 +140,11 @@ class TestRunResult:
         result = query.run([])
         assert result.events_processed == 0
         assert result.time_per_1000() == 0.0
-        assert result.touches_per_event() == 0.0
+        assert result.touches_per_tuple() == 0.0
+
+    def test_touches_per_event_deprecated(self):
+        plan = from_window(stream()).build()
+        result = ContinuousQuery(plan).run([Arrival(1, "s0", (1,))])
+        with pytest.warns(DeprecationWarning, match="touches_per_tuple"):
+            value = result.touches_per_event()
+        assert value == result.touches_per_tuple()

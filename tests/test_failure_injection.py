@@ -126,6 +126,36 @@ class TestShardWorkerFailures:
             time.sleep(0.05)
         assert all(p.exitcode is not None for p in victims)
 
+    def test_worker_exception_reported_not_swallowed(self):
+        """An exception raised *inside* a worker (here: a predicate blowing
+        up mid-chunk) must cross the pipe as an ``("err", ...)`` reply and
+        surface in the parent as ``ExecutionError("shard worker failed:
+        ...")`` carrying the original type and message — never as an opaque
+        EOFError, and never as a silent partial merge."""
+        from repro.core.plan import PredicateBuilder
+        from repro.engine.shard import ShardedExecutor
+
+        def make(schema):
+            def bomb(values):
+                if values[0] == 7:
+                    raise ValueError("injected predicate failure at v=7")
+                return True
+            return bomb
+
+        predicate = PredicateBuilder(attrs=("v",), make=make, label="bomb")
+        plan = from_window(stream("s0")).where(predicate).build()
+        executor = ShardedExecutor(plan, ExecutionConfig(mode=Mode.NT),
+                                   shards=2, backend="process")
+        events = [Arrival(0.1 * i, "s0", (i % 32,)) for i in range(600)]
+        with pytest.raises(ExecutionError, match=(
+                r"shard worker failed: "
+                r"ValueError: injected predicate failure at v=7")):
+            executor.run(iter(events))
+        # The pool was aborted: no worker outlives the failed run.
+        import multiprocessing
+        assert not any(p.is_alive()
+                       for p in multiprocessing.active_children())
+
     def test_backend_receive_aborts_whole_pool(self):
         """A dead worker poisons the pool: the first failed receive
         terminates and reaps every sibling before raising."""

@@ -99,6 +99,102 @@ class TestDistinctGoldens:
         assert op.state_size() == 2
 
 
+class TestCrossRegimeMatrix:
+    """One fixed workload, every execution regime, one pinned outcome.
+
+    The unified driver runs the same compiled execution program in every
+    regime, so the answer multiset, the exact ordered output stream, and
+    the structural counters must be byte-identical across per-tuple,
+    micro-batch, checked, and telemetry execution — and the shared-group
+    and sharded-serial regimes must reproduce the same answer and stream
+    (sharded counters are compared structurally: per-shard sums equal the
+    unsharded totals).
+    """
+
+    #: The exact UPA output stream: (values, ts, exp, sign, now) per tuple.
+    GOLDEN_STREAM = (
+        ((1, 1), 2, 11, 1, 2),
+        ((1, 1), 4, 12, 1, 4),
+        ((2, 2), 5, 13, 1, 5),
+        ((1, 1), 7, 11, 1, 7),
+        ((1, 1), 7, 14, 1, 7),
+        ((3, 3), 12, 19, 1, 12),
+        ((1, 1), 14, 17, 1, 14),
+    )
+    GOLDEN_ANSWER = {(1, 1): 1, (3, 3): 1}
+    #: Deterministic structural counters of the UPA run.
+    GOLDEN_COUNTERS = {
+        "inserts": 16,
+        "deletes": 0,
+        "expirations": 10,
+        "probes": 9,
+        "tuples_processed": 18,
+        "negatives_processed": 0,
+        "results_produced": 7,
+    }
+    STRUCTURAL = tuple(GOLDEN_COUNTERS)
+
+    def plan(self):
+        return from_window(stream("a")).join(from_window(stream("b")),
+                                             on="v").build()
+
+    def _run(self, batch=None, shards=None, **cfg):
+        query = ContinuousQuery(self.plan(),
+                                ExecutionConfig(mode=Mode.UPA, **cfg))
+        outputs = []
+        query.subscribe(
+            lambda t, now: outputs.append((t.values, t.ts, t.exp, t.sign,
+                                           now)))
+        kwargs = {}
+        if shards is not None:
+            kwargs = {"shards": shards, "shard_backend": "serial"}
+        result = query.run(list(TRACE), batch=batch, **kwargs)
+        return query, result, tuple(outputs)
+
+    @pytest.mark.parametrize("regime,kwargs", [
+        ("per-tuple", {}),
+        ("batched", {"batch": 4}),
+        ("checked", {"checked": True}),
+        ("telemetry", {"telemetry": True}),
+        ("checked-batched", {"batch": 4, "checked": True}),
+        ("telemetry-batched", {"batch": 4, "telemetry": True}),
+    ])
+    def test_unsharded_regimes_pin_everything(self, regime, kwargs):
+        query, result, outputs = self._run(**kwargs)
+        assert dict(query.answer()) == self.GOLDEN_ANSWER, regime
+        assert outputs == self.GOLDEN_STREAM, regime
+        snapshot = result.counters.snapshot()
+        assert {key: snapshot[key] for key in self.STRUCTURAL} \
+            == self.GOLDEN_COUNTERS, regime
+
+    @pytest.mark.parametrize("batch", [None, 4])
+    def test_sharded_serial_pins_answer_and_stream(self, batch):
+        _query, result, outputs = self._run(batch=batch, shards=2)
+        assert result.fallback_reason is None
+        assert dict(result.answer()) == self.GOLDEN_ANSWER
+        assert outputs == self.GOLDEN_STREAM
+        snapshot = result.counters.snapshot()
+        assert {key: snapshot[key] for key in self.STRUCTURAL} \
+            == self.GOLDEN_COUNTERS
+
+    @pytest.mark.parametrize("batch", [None, 4])
+    def test_shared_group_pins_answer_and_stream(self, batch):
+        from repro import QueryGroup
+
+        group = QueryGroup(shared=True)
+        group.add("q1", self.plan(), ExecutionConfig(mode=Mode.UPA))
+        group.add("q2", self.plan(), ExecutionConfig(mode=Mode.UPA))
+        streams = {"q1": [], "q2": []}
+        for name in ("q1", "q2"):
+            group[name].subscribe(
+                lambda t, now, acc=streams[name]:
+                acc.append((t.values, t.ts, t.exp, t.sign, now)))
+        group.run(list(TRACE), batch=batch)
+        for name in ("q1", "q2"):
+            assert dict(group[name].answer()) == self.GOLDEN_ANSWER
+            assert tuple(streams[name]) == self.GOLDEN_STREAM
+
+
 class TestNegationGoldens:
     def plan(self):
         return from_window(stream("a")).minus(from_window(stream("b")),

@@ -1,0 +1,204 @@
+"""The unified execution-program runtime: IR structure and uniqueness.
+
+The PR's core invariant — there is exactly ONE propagate / expire /
+dispatch implementation in the engine, shared by per-tuple, batched,
+shared, and sharded execution — is pinned here by source inspection and
+by structural checks on :class:`~repro.engine.program.ExecutionProgram`:
+
+* ``executor.py`` is a façade: it defines no event-loop step methods and
+  no timed ``_*_timed`` duplicate family (the pre-refactor executor
+  carried both).
+* ``Driver`` defines exactly one implementation of each step.
+* ``build_program`` covers every leaf-binding stream with a dispatch
+  table whose fused prefix + suffix reconstructs the resolved route.
+* Shared producers and shard workers hold real ``Driver`` instances over
+  the same program IR.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro import (
+    Arrival,
+    ContinuousQuery,
+    ExecutionConfig,
+    Mode,
+    Schema,
+    StreamDef,
+    TimeWindow,
+    attr_equals,
+    from_window,
+)
+from repro.engine import driver as driver_module
+from repro.engine import executor as executor_module
+from repro.engine.driver import Driver
+from repro.engine.program import (
+    STEP_KINDS,
+    DispatchPlan,
+    ExecutionProgram,
+    build_program,
+)
+
+V = Schema(["v"])
+
+
+def stream(name="s0", window=10):
+    return StreamDef(name, V, TimeWindow(window))
+
+
+def _join_plan():
+    return (from_window(stream("s0"))
+            .where(attr_equals("v", 1))
+            .join(from_window(stream("s1")), on="v")
+            .build())
+
+
+class TestSingleImplementation:
+    """executor.py is a façade; the loop lives in driver.py, once."""
+
+    def test_executor_module_has_no_event_loop(self):
+        source = inspect.getsource(executor_module)
+        for step in ("_propagate", "_expiration_pass", "_dispatch_arrival",
+                     "_propagate_route", "_maybe_lazy_purge",
+                     "_dispatch_relation_update"):
+            assert f"def {step}" not in source, (
+                f"executor.py must not define {step}; the single "
+                f"implementation lives on Driver")
+
+    def test_no_timed_duplicate_family_anywhere(self):
+        """The old ``_*_timed`` bound-method shadow family is gone: timing
+        lives in TelemetryLayer closures, not duplicated driver methods."""
+        for module in (executor_module, driver_module):
+            source = inspect.getsource(module)
+            for name in ("_propagate_timed", "_expiration_pass_timed",
+                         "_dispatch_arrival_timed", "_expiration_pass_cycled",
+                         "_telemetry_set"):
+                assert f"def {name}" not in source
+
+    def test_driver_defines_each_step_exactly_once(self):
+        source = inspect.getsource(Driver)
+        for step in ("_propagate", "_expiration_pass", "_dispatch_arrival",
+                     "_propagate_route", "_maybe_lazy_purge"):
+            assert source.count(f"def {step}(") == 1
+
+    def test_regimes_share_the_driver_class(self):
+        from repro.engine.shard import _SerialShards
+        from repro.core.sharding import analyze_partitionability
+
+        plan = from_window(stream("s0")).distinct().build()
+        part = analyze_partitionability(plan)
+        shards = _SerialShards(plan, ExecutionConfig(mode=Mode.UPA), 2,
+                               None, False)
+        assert all(type(d) is Driver for d in shards.drivers)
+        assert all(isinstance(d.program, ExecutionProgram)
+                   for d in shards.drivers)
+
+    def test_shared_producers_hold_drivers(self):
+        from repro import QueryGroup
+
+        group = QueryGroup(shared=True)
+        group.add("a", from_window(stream("s0")).distinct().build(),
+                  ExecutionConfig(mode=Mode.UPA))
+        group.add("b", from_window(stream("s0")).distinct().build(),
+                  ExecutionConfig(mode=Mode.UPA))
+        producers = group.shared_producers()
+        assert producers, "identical members must fuse"
+        assert all(type(p.driver) is Driver for p in producers)
+
+
+class TestProgramStructure:
+    def test_steps_follow_the_vocabulary_in_order(self):
+        program = ContinuousQuery(_join_plan()).executor.program
+        assert tuple(step.kind for step in program.steps) == STEP_KINDS
+
+    def test_dispatch_covers_every_leaf_stream(self):
+        query = ContinuousQuery(_join_plan())
+        program = query.executor.program
+        assert set(program.dispatch) == set(query.compiled.leaf_bindings)
+        for stream_name, leaves in query.compiled.leaf_bindings.items():
+            plans = program.dispatch[stream_name]
+            assert len(plans) == len(leaves)
+            assert [plan.leaf for plan in plans] == leaves
+
+    def test_prefix_plus_suffix_reconstructs_the_route(self):
+        query = ContinuousQuery(_join_plan(), ExecutionConfig(mode=Mode.UPA))
+        program = query.executor.program
+        for plans in program.dispatch.values():
+            for plan in plans:
+                route = query.compiled.route_of(plan.leaf)
+                assert len(plan.prefix) + len(plan.suffix) == len(route)
+                # Fused prefix entries mirror the route's leading parents.
+                for (op, kind, _arg), (parent, _slot) in zip(
+                        plan.prefix, route):
+                    assert op is parent
+                    assert kind in ("filter", "map_indices", "pass")
+                    assert parent.scalar_kernel() is not None
+                # Everything fused must be stateless.
+                for op, _kind, _arg in plan.prefix:
+                    assert op.state_size() == 0
+
+    def test_program_recorded_on_compiled(self):
+        query = ContinuousQuery(_join_plan())
+        assert query.compiled.program is query.executor.program
+
+    def test_describe_summarizes_the_loop(self):
+        query = ContinuousQuery(_join_plan(), ExecutionConfig(mode=Mode.UPA))
+        text = query.executor.program.describe()
+        assert text.startswith("EXPIRE>DISPATCH>PROPAGATE>PURGE>DELIVER")
+        assert "streams=2" in text
+        assert "layers=none" in text
+        assert repr(query.executor.program).startswith("ExecutionProgram(")
+
+    def test_checked_layer_recorded(self):
+        query = ContinuousQuery(
+            _join_plan(), ExecutionConfig(mode=Mode.UPA, checked=True))
+        assert "checked" in query.executor.program.layers
+        assert "layers=checked" in query.executor.program.describe()
+
+    def test_telemetry_layer_recorded_when_armed(self):
+        query = ContinuousQuery(
+            _join_plan(), ExecutionConfig(mode=Mode.UPA, telemetry=True))
+        assert "telemetry" in query.executor.program.layers
+
+    def test_explain_carries_program_footer(self):
+        query = ContinuousQuery(_join_plan(), ExecutionConfig(mode=Mode.UPA))
+        text = query.explain()
+        assert "-- program: EXPIRE>DISPATCH>PROPAGATE>PURGE>DELIVER" in text
+
+    def test_dispatch_plan_is_flat_data(self):
+        plan = DispatchPlan(leaf=None, is_window=True, prefix=(), suffix=())
+        assert plan.prefix == () and plan.suffix == ()
+
+
+class TestProgramExecutionEquivalence:
+    """A rebuilt program over the same compile drives identical results."""
+
+    def _events(self, n=200):
+        return [Arrival(0.25 * i, f"s{i % 2}", (i % 5,)) for i in range(n)]
+
+    @pytest.mark.parametrize("mode", [Mode.NT, Mode.UPA])
+    def test_fused_prefix_matches_unfused_route(self, mode):
+        """Filter-below-join: the fused scalar prefix must charge the same
+        answers as per-tuple generic propagation."""
+        reference = ContinuousQuery(_join_plan(), ExecutionConfig(mode=mode))
+        reference.run(iter(self._events()))
+        batched = ContinuousQuery(_join_plan(), ExecutionConfig(mode=mode))
+        batched.run(iter(self._events()), batch=64)
+        assert reference.answer() == batched.answer()
+
+    def test_driver_runs_program_standalone(self):
+        """A Driver over a fresh program processes events without the
+        Executor façade — the program IR is self-sufficient."""
+        from repro.engine.strategies import compile_plan
+
+        compiled = compile_plan(_join_plan(), ExecutionConfig(mode=Mode.UPA))
+        driver = Driver(compiled, build_program(compiled))
+        for event in self._events(60):
+            driver.process_event(event)
+        reference = ContinuousQuery(_join_plan(),
+                                    ExecutionConfig(mode=Mode.UPA))
+        reference.run(iter(self._events(60)))
+        assert driver.answer() == reference.answer()

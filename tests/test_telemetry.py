@@ -462,40 +462,60 @@ class TestSurfaces:
 
 
 class TestDisabledOverheadShape:
-    """Telemetry off must leave the executor's hot path untouched."""
+    """Telemetry off must leave the driver's hot path untouched."""
 
     def test_no_instrumented_attributes_when_off(self):
         query = ContinuousQuery(_join_plan(), ExecutionConfig(mode=Mode.NT))
-        executor = query.executor
-        assert executor._telemetry is None
+        driver = query.executor.driver
+        assert driver._telemetry is None
+        assert driver._layer is None
         # Instance dict carries no shadowed methods or instruments.
-        assert "_propagate" not in executor.__dict__
-        assert "_expiration_pass" not in executor.__dict__
-        assert not hasattr(executor, "_pass_timer")
+        assert "_propagate" not in driver.__dict__
+        assert "_expiration_pass" not in driver.__dict__
+        assert not hasattr(driver, "_pass_timer")
+        assert "telemetry" not in query.executor.program.layers
 
     def test_shadowing_installed_when_armed(self):
+        from repro.engine.driver import TelemetryLayer
+
         query = ContinuousQuery(
             _join_plan(), ExecutionConfig(mode=Mode.NT, telemetry=True))
-        executor = query.executor
-        assert executor.__dict__["_expiration_pass"].__func__ is \
-            type(executor)._expiration_pass_cycled
-        # A fresh armed executor starts inside a timed window.
-        assert executor.__dict__["_propagate"].__func__ is \
-            type(executor)._propagate_timed
+        driver = query.executor.driver
+        assert isinstance(driver._layer, TelemetryLayer)
+        # The cycled expiration-pass shadow is installed for the armed
+        # lifetime; a fresh armed driver starts inside a timed window.
+        assert "_expiration_pass" in driver.__dict__
+        assert "_propagate" in driver.__dict__
+        assert "_propagate_route" in driver.__dict__
+        assert "_dispatch_arrival" in driver.__dict__
+        assert driver._timing is True
+        assert "telemetry" in query.executor.program.layers
 
     def test_timers_are_duty_cycled(self):
         """The timed shadows come and go on the 1-in-N duty cycle; the
         cycled expiration-pass shadow stays installed throughout."""
         from repro import Arrival
+        from repro.engine.driver import TelemetryLayer
 
         query = ContinuousQuery(
             _join_plan(), ExecutionConfig(mode=Mode.NT, telemetry=True))
-        executor = query.executor
+        driver = query.executor.driver
         states = []
-        for i in range(2 * executor._timer_every):
-            executor.process_event(Arrival(float(i), "s0", (i,)))
-            states.append("_propagate" in executor.__dict__)
+        for i in range(2 * TelemetryLayer.timer_every):
+            driver.process_event(Arrival(float(i), "s0", (i,)))
+            states.append("_propagate" in driver.__dict__)
         assert True in states and False in states
-        assert states.count(True) == 2  # 1 timed event in _timer_every
-        assert executor.__dict__["_expiration_pass"].__func__ is \
-            type(executor)._expiration_pass_cycled
+        assert states.count(True) == 2  # 1 timed event in timer_every
+        assert "_expiration_pass" in driver.__dict__
+
+    def test_disarm_removes_every_shadow(self):
+        query = ContinuousQuery(
+            _join_plan(), ExecutionConfig(mode=Mode.NT, telemetry=True))
+        driver = query.executor.driver
+        query.executor.disarm_telemetry()
+        assert driver._telemetry is None
+        assert "_propagate" not in driver.__dict__
+        assert "_propagate_route" not in driver.__dict__
+        assert "_dispatch_arrival" not in driver.__dict__
+        assert "_expiration_pass" not in driver.__dict__
+        assert driver._timing is False
