@@ -1,0 +1,101 @@
+"""Compare a fresh ``BENCH_<exp>.json`` against a committed baseline.
+
+The bench trajectory is only useful if regressions are visible: this
+module pairs the records of a freshly generated bench document with a
+checked-in baseline (``benchmarks/baselines/BENCH_<exp>.json``) by
+``(label, window)`` and flags any cell whose ``time_ms_per_1000`` grew
+beyond a tolerance factor.  Cross-host and CI-runner variance is large,
+so the default tolerance is deliberately generous
+(``REPRO_BENCH_BASELINE_TOL``, default 4.0x) — the gate exists to catch
+order-of-magnitude regressions and silently dropped coverage, not single
+-digit percent drift (that is what ``test_program_overhead.py``'s paired
+same-host comparisons are for).
+
+CLI: ``python -m benchmarks.baseline_compare BASELINE FRESH [--tol X]``
+exits non-zero listing every violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+#: Cross-host headroom: a committed baseline from one machine vs a CI
+#: runner can legitimately differ severalfold in absolute wall-clock.
+DEFAULT_TOLERANCE = float(
+    os.environ.get("REPRO_BENCH_BASELINE_TOL", "4.0"))
+
+
+def _cells(document: dict) -> dict:
+    """(label, window) -> time_ms_per_1000 for every measurement record."""
+    cells = {}
+    for record in document.get("records", ()):
+        label, window = record.get("label"), record.get("window")
+        time_ms = record.get("time_ms_per_1000")
+        if label is None or window is None or time_ms is None:
+            continue  # bare-tuple experiments (e8, e10) carry no cells
+        cells[(label, window)] = time_ms
+    return cells
+
+
+def compare_documents(baseline: dict, fresh: dict,
+                      tolerance: float = DEFAULT_TOLERANCE) -> list[str]:
+    """Return a list of human-readable violations (empty = within gate).
+
+    Violations are: a baseline cell missing from the fresh run (dropped
+    coverage), or a fresh cell slower than ``tolerance`` x its baseline.
+    Cells new in the fresh run are fine — coverage may grow.
+    """
+    violations: list[str] = []
+    if baseline.get("schema") != fresh.get("schema"):
+        violations.append(
+            f"schema mismatch: baseline {baseline.get('schema')!r} vs "
+            f"fresh {fresh.get('schema')!r}")
+    base_cells = _cells(baseline)
+    fresh_cells = _cells(fresh)
+    if not base_cells:
+        violations.append("baseline document has no measurement cells")
+    for key in sorted(base_cells, key=str):
+        if key not in fresh_cells:
+            violations.append(
+                f"{key[0]} W={key[1]}: cell present in the baseline but "
+                "missing from the fresh run")
+            continue
+        base_time, fresh_time = base_cells[key], fresh_cells[key]
+        if fresh_time > tolerance * base_time:
+            violations.append(
+                f"{key[0]} W={key[1]}: {fresh_time:.2f} ms/1k > "
+                f"{tolerance}x baseline {base_time:.2f}")
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare a fresh BENCH json against a committed "
+                    "baseline within a tolerance factor")
+    parser.add_argument("baseline", help="committed BENCH_<exp>.json")
+    parser.add_argument("fresh", help="freshly generated BENCH_<exp>.json")
+    parser.add_argument("--tol", type=float, default=DEFAULT_TOLERANCE,
+                        help="slowdown factor allowed per cell "
+                             f"(default {DEFAULT_TOLERANCE})")
+    args = parser.parse_args(argv)
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    with open(args.fresh, encoding="utf-8") as handle:
+        fresh = json.load(handle)
+    violations = compare_documents(baseline, fresh, args.tol)
+    if violations:
+        print(f"bench baseline gate FAILED ({len(violations)} cell(s)):")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    compared = len(_cells(baseline))
+    print(f"bench baseline gate ok: {compared} cell(s) within "
+          f"{args.tol}x of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

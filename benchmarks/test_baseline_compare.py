@@ -1,0 +1,82 @@
+"""The committed bench baseline and its comparison gate.
+
+Two things must hold for the perf trajectory to be trustworthy: the
+checked-in ``benchmarks/baselines/BENCH_program.json`` is schema-valid
+and covers the specialized + interpreted label matrix, and
+``baseline_compare`` actually flags regressions and dropped coverage
+(a gate that cannot fail is decoration).
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+
+from .baseline_compare import compare_documents, main as compare_main
+from .harness import BENCH_SCHEMA
+from .test_program_overhead import PROGRAM_BASELINES
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "baselines",
+                             "BENCH_program.json")
+
+
+def _baseline() -> dict:
+    with open(BASELINE_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestCommittedBaseline:
+    def test_schema_and_coverage(self):
+        document = _baseline()
+        assert document["schema"] == BENCH_SCHEMA
+        assert document["experiment"] == "program"
+        labels = {record["label"] for record in document["records"]}
+        assert labels == set(PROGRAM_BASELINES) | {
+            f"{label}/interp" for label in PROGRAM_BASELINES}
+        for record in document["records"]:
+            assert record["time_ms_per_1000"] > 0, record["label"]
+            assert record["events"] > 0, record["label"]
+
+    def test_baseline_passes_against_itself(self):
+        document = _baseline()
+        assert compare_documents(document, document) == []
+
+
+class TestCompareGate:
+    def test_regression_is_flagged(self):
+        baseline = _baseline()
+        slowed = copy.deepcopy(baseline)
+        slowed["records"][0]["time_ms_per_1000"] *= 100.0
+        # Fresh run 100x slower than baseline in one cell: must fire.
+        violations = compare_documents(baseline, slowed, tolerance=4.0)
+        assert len(violations) == 1
+        assert "ms/1k > 4.0x baseline" in violations[0]
+
+    def test_dropped_coverage_is_flagged(self):
+        baseline = _baseline()
+        shrunk = copy.deepcopy(baseline)
+        dropped = shrunk["records"].pop(0)
+        violations = compare_documents(baseline, shrunk)
+        assert any(dropped["label"] in v and "missing" in v
+                   for v in violations)
+
+    def test_speedups_and_new_cells_pass(self):
+        baseline = _baseline()
+        improved = copy.deepcopy(baseline)
+        for record in improved["records"]:
+            record["time_ms_per_1000"] /= 2.0
+        improved["records"].append(dict(improved["records"][0],
+                                        label="E99", window=1000))
+        assert compare_documents(baseline, improved) == []
+
+    def test_cli_exit_codes(self, tmp_path):
+        baseline = _baseline()
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(baseline))
+        assert compare_main([BASELINE_PATH, str(good)]) == 0
+        bad_doc = copy.deepcopy(baseline)
+        bad_doc["records"][0]["time_ms_per_1000"] *= 100.0
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(bad_doc))
+        assert compare_main([BASELINE_PATH, str(bad)]) == 1

@@ -1,13 +1,21 @@
 """The unified execution-program driver must not tax the hot loop.
 
 The multi-layer refactor routed every regime (per-tuple, batched, shared,
-sharded) through one compiled ``ExecutionProgram`` interpreted by a single
-``Driver``.  These tests replay the UPA cells of E1–E5 on the new driver
-and compare against the pre-refactor times recorded in RESULTS.md: the
-program-driven loop must stay within a noise-tolerant factor of the old
-hand-inlined one.  Wall-clock comparisons across machines and runs are
-inherently noisy, so the tolerance is generous by default (2x) and
-overridable via ``REPRO_PROGRAM_OVERHEAD_TOL`` for quieter hosts.
+sharded) through one compiled ``ExecutionProgram``, and the
+specialization stage (``engine/specialize.py``) then compiled that IR
+into monomorphic closures to repay the interpreter's overhead.  These
+tests replay the UPA cells of E1–E5 on both drivers and assert:
+
+* the (default) specialized driver stays within a noise-tolerant factor
+  of the pre-refactor hand-inlined times recorded in RESULTS.md — the
+  tolerance tightened from the interpreter era's 2.0x to 1.3x now that
+  dispatch, routing and boundary maintenance are resolved at compile
+  time (override via ``REPRO_PROGRAM_OVERHEAD_TOL``);
+* on every cell, the specialized driver is at least as fast as the
+  interpreted reference (self-gated per cell against host noise, like
+  the E13 speedup assert; per-cell slack via
+  ``REPRO_SPECIALIZE_SPEEDUP_TOL``), and strictly no slower in
+  aggregate.
 
 The sweep itself (and the ``BENCH_program.json`` emission) is exercised
 through the same ``benchmarks.harness`` machinery the CLI uses.
@@ -19,11 +27,13 @@ import os
 import pytest
 
 from .common import quick_mode, windows
-from .experiments import EXPERIMENTS, program_overhead
+from .experiments import (
+    EXPERIMENTS, measure_program_cell, program_overhead)
 from .harness import BENCH_SCHEMA, bench_document, main as harness_main
 
 #: Pre-refactor UPA ms-per-1000-tuples from RESULTS.md (full windows).
-#: Keyed by the labels ``program_overhead`` emits.
+#: Keyed by the labels ``program_overhead`` emits for the (default)
+#: specialized driver; the interpreted twins carry a ``/interp`` suffix.
 PROGRAM_BASELINES = {
     "E1": {100: 2.29, 200: 2.34, 400: 2.38, 800: 2.83},
     "E2": {100: 5.06, 200: 7.07, 400: 10.99, 800: 24.34},
@@ -33,7 +43,20 @@ PROGRAM_BASELINES = {
     "E5": {100: 14.57, 200: 7.66, 400: 7.69, 800: 8.27},
 }
 
-TOLERANCE = float(os.environ.get("REPRO_PROGRAM_OVERHEAD_TOL", "2.0"))
+TOLERANCE = float(os.environ.get("REPRO_PROGRAM_OVERHEAD_TOL", "1.3"))
+
+#: Quick mode replays shortened traces whose per-cell wall-clock swings
+#: 20-30% between identical runs on a 1-vCPU runner — too coarse to
+#: resolve a 1.3x bound (same resolution limit benchmarks/overhead.py
+#: documents for its 5% gate).  Full-window runs keep the strict factor.
+QUICK_NOISE = 1.25
+
+#: Per-cell slack for specialized-vs-interpreted: wall-clock comparisons
+#: of single cells are noisy (GC, frequency scaling), so an individual
+#: cell may measure up to this factor of its interpreted twin as long as
+#: the aggregate over all cells still favours the specialized driver.
+SPECIALIZE_TOL = float(
+    os.environ.get("REPRO_SPECIALIZE_SPEEDUP_TOL", "1.25"))
 
 
 @pytest.fixture(scope="module")
@@ -42,13 +65,22 @@ def measurements():
     return program_overhead()
 
 
+def _split(measurements):
+    specialized = {(m.label, m.window): m for m in measurements
+                   if not m.label.endswith("/interp")}
+    interpreted = {(m.label.removesuffix("/interp"), m.window): m
+                   for m in measurements if m.label.endswith("/interp")}
+    return specialized, interpreted
+
+
 class TestProgramOverhead:
     def test_registered_with_harness(self):
         assert EXPERIMENTS["program"] is program_overhead
 
     def test_sweep_covers_every_baseline_shape(self, measurements):
         labels = {m.label for m in measurements}
-        assert labels == set(PROGRAM_BASELINES)
+        assert labels == set(PROGRAM_BASELINES) | {
+            f"{label}/interp" for label in PROGRAM_BASELINES}
         expected_windows = set(windows())
         for label in labels:
             got = {m.window for m in measurements if m.label == label}
@@ -56,21 +88,36 @@ class TestProgramOverhead:
 
     def test_program_driver_within_tolerance_of_results_md(
             self, measurements):
-        """Each measured cell vs its RESULTS.md counterpart.
+        """Each specialized cell vs its RESULTS.md counterpart.
 
         Quick mode's window 50 has no pre-refactor baseline and is
-        skipped; everything else must be within ``TOLERANCE``x.
+        skipped, as are the ``/interp`` reference cells (the interpreter
+        keeps its own 2x headroom by construction); everything else must
+        be within ``TOLERANCE``x (``QUICK_NOISE``-relaxed on quick-mode
+        traces, which are too short to resolve the strict factor).
+
+        A cell over the limit is re-measured up to twice before it
+        counts as a violation: transient spikes (GC pause, host steal on
+        a shared 1-vCPU runner) vanish on retry, real regressions are
+        slow every time.
         """
+        limit = TOLERANCE * (QUICK_NOISE if quick_mode() else 1.0)
         compared, violations = 0, []
         for m in measurements:
-            baseline = PROGRAM_BASELINES[m.label].get(m.window)
+            baseline = PROGRAM_BASELINES.get(m.label, {}).get(m.window)
             if baseline is None:
                 continue
             compared += 1
-            if m.time_ms_per_1000 > TOLERANCE * baseline:
+            best = m.time_ms_per_1000
+            for _retry in range(2):
+                if best <= limit * baseline:
+                    break
+                fresh = measure_program_cell(m.label, m.window)
+                best = min(best, fresh.time_ms_per_1000)
+            if best > limit * baseline:
                 violations.append(
-                    f"{m.label} W={m.window}: {m.time_ms_per_1000:.2f} "
-                    f"ms/1k > {TOLERANCE}x baseline {baseline:.2f}")
+                    f"{m.label} W={m.window}: {best:.2f} "
+                    f"ms/1k > {limit:.3g}x baseline {baseline:.2f}")
         assert compared >= (12 if quick_mode() else 24)
         assert not violations, "\n".join(violations)
 
@@ -80,6 +127,64 @@ class TestProgramOverhead:
         for m in measurements:
             assert m.events > 0, m.label
             assert m.answer_size >= 0
+
+
+class TestSpecializedVsInterpreted:
+    """The tentpole's acceptance bar: specialization must repay itself on
+    every E1–E5 UPA cell, not just on a favourable aggregate."""
+
+    def test_every_cell_measured_both_ways(self, measurements):
+        specialized, interpreted = _split(measurements)
+        assert set(specialized) == set(interpreted)
+        assert {label for label, _w in specialized} \
+            == set(PROGRAM_BASELINES)
+
+    def test_specialized_at_least_as_fast_per_cell(self, measurements):
+        """A violating cell gets one fresh paired re-measurement before
+        it counts: transient spikes on the specialized side vanish on
+        retry, a genuinely slower driver loses the re-match too."""
+        specialized, interpreted = _split(measurements)
+        violations = []
+        for key, spec in sorted(specialized.items()):
+            interp = interpreted[key]
+            spec_time = spec.time_ms_per_1000
+            interp_time = interp.time_ms_per_1000
+            if spec_time > SPECIALIZE_TOL * interp_time:
+                label, window = key
+                respec = measure_program_cell(label, window)
+                reinterp = measure_program_cell(label, window,
+                                                specialize=False)
+                spec_time = min(spec_time, respec.time_ms_per_1000)
+                interp_time = min(interp_time,
+                                  reinterp.time_ms_per_1000)
+            if spec_time > SPECIALIZE_TOL * interp_time:
+                violations.append(
+                    f"{key[0]} W={key[1]}: specialized "
+                    f"{spec_time:.2f} ms/1k > "
+                    f"{SPECIALIZE_TOL}x interpreted "
+                    f"{interp_time:.2f}")
+        assert not violations, "\n".join(violations)
+
+    def test_specialized_faster_in_aggregate(self, measurements):
+        """Summed over all cells, the compiled closures must beat the
+        interpreter outright — per-cell noise tolerance must not hide a
+        net regression."""
+        specialized, interpreted = _split(measurements)
+        spec_total = sum(m.time_ms_per_1000 for m in specialized.values())
+        interp_total = sum(m.time_ms_per_1000
+                           for m in interpreted.values())
+        assert spec_total <= interp_total, (
+            f"specialized total {spec_total:.2f} ms/1k vs interpreted "
+            f"{interp_total:.2f}")
+
+    def test_identical_answers_both_ways(self, measurements):
+        """The two drivers replay identical traces; their answer sizes and
+        event counts must agree cell by cell."""
+        specialized, interpreted = _split(measurements)
+        for key, spec in specialized.items():
+            interp = interpreted[key]
+            assert spec.answer_size == interp.answer_size, key
+            assert spec.events == interp.events, key
 
 
 class TestBenchJsonEmission:
@@ -103,4 +208,5 @@ class TestBenchJsonEmission:
         assert document["schema"] == BENCH_SCHEMA
         assert document["quick"] is True
         labels = {record["label"] for record in document["records"]}
-        assert labels == set(PROGRAM_BASELINES)
+        assert labels == set(PROGRAM_BASELINES) | {
+            f"{label}/interp" for label in PROGRAM_BASELINES}

@@ -200,7 +200,11 @@ class Driver:
         # arrival-plan; untimed and disabled batches hoist a plain None.
         op_timers = compiled.op_timers if self._timing else None
         perf = time.perf_counter
-        self._next_expiry = compute_next_expiry()
+        # The boundary is hoisted into a local like every other hot-path
+        # attribute; callees that fold into ``self._next_expiry``
+        # (propagate / propagate_route / tracked relation dispatch) get the
+        # attribute synced before the call and the local refreshed after.
+        next_expiry = self._next_expiry = compute_next_expiry()
         try:
             for event in events:
                 now = event.ts if time_domain else clock_for(event)
@@ -212,12 +216,12 @@ class Driver:
                     )
                 self.now = now
                 events_processed += 1
-                if now >= self._next_expiry:
+                if now >= next_expiry:
                     # Boundary crossed: run the full pass at this event's
                     # clock (identical to the per-tuple trigger), then
                     # re-anchor the boundary on the surviving eager state.
                     expiration_pass(now)
-                    self._next_expiry = compute_next_expiry()
+                    next_expiry = self._next_expiry = compute_next_expiry()
                 if isinstance(event, Arrival):
                     tuples_arrived += 1
                     for leaf, is_window, prefix, suffix in \
@@ -232,7 +236,9 @@ class Driver:
                             if op_timers is not None:
                                 op_timers[id(leaf)].add(perf() - t0)
                             if outputs:
+                                self._next_expiry = next_expiry
                                 propagate(leaf, outputs, now)
+                                next_expiry = self._next_expiry
                             continue
                         # Inlined WindowOp.process for a (positive)
                         # arrival: clock advance, one tuples_processed
@@ -246,8 +252,8 @@ class Driver:
                         # The stamped tuple may enter eager state (NT
                         # window FIFO) even if a filter drops it upstream,
                         # so it always lowers the expiration boundary.
-                        if stamped.exp < self._next_expiry:
-                            self._next_expiry = stamped.exp
+                        if stamped.exp < next_expiry:
+                            next_expiry = stamped.exp
                         t = stamped
                         alive = True
                         for op, kind, arg in prefix:
@@ -272,13 +278,17 @@ class Driver:
                         if not alive:
                             continue
                         if suffix:
+                            self._next_expiry = next_expiry
                             propagate_route(suffix, [t], now)
+                            next_expiry = self._next_expiry
                         else:
                             view.apply(t, now)
                             for subscriber in subscribers:
                                 subscriber(t, now)
                 elif isinstance(event, RelationUpdate):
+                    self._next_expiry = next_expiry
                     self._dispatch_relation_update(event, now, tracked=True)
+                    next_expiry = self._next_expiry
                 elif isinstance(event, Tick):
                     pass
                 else:  # pragma: no cover - event model is closed
@@ -289,6 +299,7 @@ class Driver:
         finally:
             self._events_processed = events_processed
             self._tuples_arrived = tuples_arrived
+        self._next_expiry = next_expiry
         # One amortized view purge per batch: timestamp purging emits no
         # output, so only its (deterministic) timing is batched.
         compiled.view.purge(self.now)
@@ -394,8 +405,8 @@ class Driver:
             return
         self._propagate_route(self._routes[id(source)], outputs, now)
 
-    def _propagate_route(self, route, outputs: list[Tuple],
-                         now: float) -> None:
+    def _propagate_route(self, route, outputs: list[Tuple], now: float,
+                         timers=None, perf=time.perf_counter) -> None:
         """Push ``outputs`` along ``route`` and lower the expiration
         boundary by every flowing tuple's ``exp``.
 
@@ -404,13 +415,24 @@ class Driver:
         keeps ``_next_expiry`` a sound lower bound on newly-created eager
         state.  Negative tuples are included too — harmlessly conservative
         (an unnecessarily low boundary only schedules a no-op pass).
+
+        ``timers`` selects the timed variant (one charge per route stage,
+        chained clock reads: N+1 calls for N stages); the telemetry
+        layer's armed shadow passes ``compiled.op_timers`` here so both
+        variants share this one boundary-folding body.
         """
         boundary = self._next_expiry
+        if timers is not None:
+            t0 = perf()
         for parent, slot in route:
             for t in outputs:
                 if t.exp < boundary:
                     boundary = t.exp
             outputs = parent.process_batch(slot, outputs, now)
+            if timers is not None:
+                t1 = perf()
+                timers[id(parent)].add(t1 - t0)
+                t0 = t1
             if not outputs:
                 self._next_expiry = boundary
                 return
@@ -569,7 +591,9 @@ class TelemetryLayer:
             layer._timed_propagate(driver, source, outputs, now)
 
         def propagate_route(route, outputs, now):
-            layer._timed_propagate_route(driver, route, outputs, now)
+            # The timed variant is the unified Driver body with timers.
+            Driver._propagate_route(driver, route, outputs, now,
+                                    driver.compiled.op_timers)
 
         def dispatch_arrival(event, now, tracked=False):
             layer._timed_dispatch_arrival(driver, event, now, tracked)
@@ -661,31 +685,6 @@ class TelemetryLayer:
             t0 = t1
             if not outputs:
                 return
-        driver._deliver(outputs, now)
-
-    def _timed_propagate_route(self, driver: Driver, route, outputs,
-                               now) -> None:
-        # Exact replica of Driver._propagate_route's boundary folding,
-        # with one timer charge per route stage.
-        timers = driver.compiled.op_timers
-        perf = time.perf_counter
-        boundary = driver._next_expiry
-        t0 = perf()
-        for parent, slot in route:
-            for t in outputs:
-                if t.exp < boundary:
-                    boundary = t.exp
-            outputs = parent.process_batch(slot, outputs, now)
-            t1 = perf()
-            timers[id(parent)].add(t1 - t0)
-            t0 = t1
-            if not outputs:
-                driver._next_expiry = boundary
-                return
-        for t in outputs:
-            if t.exp < boundary:
-                boundary = t.exp
-        driver._next_expiry = boundary
         driver._deliver(outputs, now)
 
     def _timed_pass(self, driver: Driver, now: float) -> None:

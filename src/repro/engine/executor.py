@@ -29,6 +29,7 @@ from ..errors import ExecutionError
 from ..streams.stream import Event
 from .driver import Driver
 from .program import build_program
+from .specialize import make_driver
 from .strategies import CompiledQuery
 
 
@@ -113,7 +114,7 @@ class Executor:
     def __init__(self, compiled: CompiledQuery):
         self.compiled = compiled
         self.program = build_program(compiled)
-        self.driver = Driver(compiled, self.program)
+        self.driver = make_driver(compiled, self.program)
 
     # -- driver surface ----------------------------------------------------
 

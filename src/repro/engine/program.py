@@ -67,7 +67,8 @@ class ExecutionProgram:
 
     __slots__ = ("compiled", "dispatch", "routes", "expire_ops", "lazy_ops",
                  "leaf_bindings", "relations", "relation_bindings",
-                 "time_domain", "count_stream", "steps", "layers")
+                 "time_domain", "count_stream", "steps", "layers",
+                 "specialization")
 
     def __init__(self, compiled, dispatch, routes, expire_ops, lazy_ops,
                  steps, layers):
@@ -88,6 +89,11 @@ class ExecutionProgram:
         #: Instrumentation layers installed on this program ("checked" at
         #: build time, "telemetry" when a TelemetryLayer arms a driver).
         self.layers = layers
+        #: The monomorphic specialization table compiled from this IR (see
+        #: :func:`repro.engine.specialize.specialize_program`), cached so
+        #: the PRG604 lint rule inspects the very table the specialized
+        #: driver's closures were compiled from.  None until specialized.
+        self.specialization = None
 
     def fused_op_count(self) -> int:
         return sum(len(plan.prefix)

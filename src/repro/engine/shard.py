@@ -76,6 +76,7 @@ from ..analysis.sanitizer import verify_drain
 from .driver import Driver
 from .executor import Executor
 from .program import build_program
+from .specialize import make_driver
 from .strategies import ExecutionConfig, compile_plan
 
 #: Events shipped per backend step when no micro-batch size is given.
@@ -94,7 +95,7 @@ def _compile_driver(plan: LogicalNode, config: ExecutionConfig) -> Driver:
     executor owns those — so workers ship and run the program directly.
     """
     compiled = compile_plan(plan, config)
-    return Driver(compiled, build_program(compiled))
+    return make_driver(compiled, build_program(compiled))
 
 
 def stable_hash(value: object) -> int:

@@ -123,6 +123,15 @@ class ExecutionConfig:
     #: streams and the legacy counters are byte-identical either way, and
     #: with the default ``False`` the hot path carries no telemetry code.
     telemetry: bool = False
+    #: Program specialization (CLI ``--no-specialize`` opts out): compile
+    #: the execution program into monomorphic per-stream dispatch closures
+    #: and a fused event-loop (:mod:`repro.engine.specialize`) instead of
+    #: interpreting the IR per event.  Answers, output streams and counters
+    #: are byte-identical either way — the interpreted
+    #: :class:`~repro.engine.driver.Driver` stays as the reference
+    #: implementation, and PRG604 re-derives the closure coverage from the
+    #: IR on every lint.
+    specialize: bool = True
 
     def __post_init__(self) -> None:
         if not isinstance(self.mode, Mode):
@@ -157,6 +166,11 @@ class ExecutionConfig:
             raise ConfigError(
                 f"telemetry must be a bool, got {self.telemetry!r} (it arms "
                 "the runtime metrics registry and timing spans)")
+        if not isinstance(self.specialize, bool):
+            raise ConfigError(
+                f"specialize must be a bool, got {self.specialize!r} (it "
+                "selects the monomorphic specialized event loop; False runs "
+                "the interpreted reference driver)")
         if self.checked and self.allow_unbounded_state:
             raise ConfigError(
                 "checked=True is incompatible with allow_unbounded_state="

@@ -43,6 +43,7 @@ from repro.core.plan import (
 from repro.core.sharding import Partitionability, analyze_partitionability
 from repro.core.tuples import Schema
 from repro.engine.program import build_program
+from repro.engine.specialize import specialize_program
 from repro.engine.strategies import (
     STR_NEGATIVE,
     ExecutionConfig,
@@ -279,6 +280,22 @@ def _prg603_stateful_fused_prefix() -> LintReport:
     return lint_compiled(compiled)
 
 
+def _prg604_stale_specialization_table() -> LintReport:
+    """Specialize Query 1's execution program, then delete one stream from
+    the *cached specialization table* (the object the monomorphic closures
+    were compiled from) while leaving the program's own dispatch table
+    intact — so PRG601–603 stay silent and only the closure-coverage
+    cross-check can catch that every arrival on that stream would be
+    dropped by the compiled fast path."""
+    plan = queries.query1(_GEN, WINDOW)
+    _config, compiled = _compiled(plan, mode=Mode.UPA)
+    program = build_program(compiled)
+    specialize_program(program)
+    del program.specialization.dispatch[
+        next(iter(program.specialization.dispatch))]
+    return lint_compiled(compiled)
+
+
 #: Every case, in rule-catalogue order.  ``rule`` is the diagnostic the
 #: case must produce; other rules may legitimately fire alongside it (a
 #: lying SharedScan, for instance, trips both UP002 and UP001).
@@ -328,6 +345,9 @@ CORPUS: tuple[BadPlan, ...] = (
     BadPlan("stateful-fused-prefix", "PRG603",
             "kernel-less suffix operator promoted into the fused prefix",
             _prg603_stateful_fused_prefix),
+    BadPlan("stale-specialization-table", "PRG604",
+            "cached specialization table lost one stream's closures",
+            _prg604_stale_specialization_table),
 )
 
 __all__ = ["BadPlan", "CORPUS", "WINDOW"]

@@ -151,6 +151,8 @@ class TestCrossRegimeMatrix:
         result = query.run(list(TRACE), batch=batch, **kwargs)
         return query, result, tuple(outputs)
 
+    @pytest.mark.parametrize("specialize", [True, False],
+                             ids=["specialized", "interpreted"])
     @pytest.mark.parametrize("regime,kwargs", [
         ("per-tuple", {}),
         ("batched", {"batch": 4}),
@@ -159,17 +161,21 @@ class TestCrossRegimeMatrix:
         ("checked-batched", {"batch": 4, "checked": True}),
         ("telemetry-batched", {"batch": 4, "telemetry": True}),
     ])
-    def test_unsharded_regimes_pin_everything(self, regime, kwargs):
-        query, result, outputs = self._run(**kwargs)
+    def test_unsharded_regimes_pin_everything(self, regime, kwargs,
+                                              specialize):
+        query, result, outputs = self._run(specialize=specialize, **kwargs)
         assert dict(query.answer()) == self.GOLDEN_ANSWER, regime
         assert outputs == self.GOLDEN_STREAM, regime
         snapshot = result.counters.snapshot()
         assert {key: snapshot[key] for key in self.STRUCTURAL} \
             == self.GOLDEN_COUNTERS, regime
 
+    @pytest.mark.parametrize("specialize", [True, False],
+                             ids=["specialized", "interpreted"])
     @pytest.mark.parametrize("batch", [None, 4])
-    def test_sharded_serial_pins_answer_and_stream(self, batch):
-        _query, result, outputs = self._run(batch=batch, shards=2)
+    def test_sharded_serial_pins_answer_and_stream(self, batch, specialize):
+        _query, result, outputs = self._run(batch=batch, shards=2,
+                                            specialize=specialize)
         assert result.fallback_reason is None
         assert dict(result.answer()) == self.GOLDEN_ANSWER
         assert outputs == self.GOLDEN_STREAM
@@ -177,13 +183,16 @@ class TestCrossRegimeMatrix:
         assert {key: snapshot[key] for key in self.STRUCTURAL} \
             == self.GOLDEN_COUNTERS
 
+    @pytest.mark.parametrize("specialize", [True, False],
+                             ids=["specialized", "interpreted"])
     @pytest.mark.parametrize("batch", [None, 4])
-    def test_shared_group_pins_answer_and_stream(self, batch):
+    def test_shared_group_pins_answer_and_stream(self, batch, specialize):
         from repro import QueryGroup
 
         group = QueryGroup(shared=True)
-        group.add("q1", self.plan(), ExecutionConfig(mode=Mode.UPA))
-        group.add("q2", self.plan(), ExecutionConfig(mode=Mode.UPA))
+        config = ExecutionConfig(mode=Mode.UPA, specialize=specialize)
+        group.add("q1", self.plan(), config)
+        group.add("q2", self.plan(), config)
         streams = {"q1": [], "q2": []}
         for name in ("q1", "q2"):
             group[name].subscribe(

@@ -87,17 +87,35 @@ class TestSingleImplementation:
     def test_regimes_share_the_driver_class(self):
         from repro.engine.shard import _SerialShards
         from repro.core.sharding import analyze_partitionability
+        from repro.engine.specialize import SpecializedDriver
 
         plan = from_window(stream("s0")).distinct().build()
         part = analyze_partitionability(plan)
-        shards = _SerialShards(plan, ExecutionConfig(mode=Mode.UPA), 2,
+        # Interpreted opt-out: the reference Driver, exactly.
+        shards = _SerialShards(plan, ExecutionConfig(mode=Mode.UPA,
+                                                     specialize=False), 2,
                                None, False)
         assert all(type(d) is Driver for d in shards.drivers)
         assert all(isinstance(d.program, ExecutionProgram)
                    for d in shards.drivers)
+        # Default: the same Driver contract, specialized subclass.
+        shards = _SerialShards(plan, ExecutionConfig(mode=Mode.UPA), 2,
+                               None, False)
+        assert all(type(d) is SpecializedDriver for d in shards.drivers)
+        assert all(isinstance(d, Driver) for d in shards.drivers)
 
     def test_shared_producers_hold_drivers(self):
         from repro import QueryGroup
+        from repro.engine.specialize import SpecializedDriver
+
+        group = QueryGroup(shared=True)
+        group.add("a", from_window(stream("s0")).distinct().build(),
+                  ExecutionConfig(mode=Mode.UPA, specialize=False))
+        group.add("b", from_window(stream("s0")).distinct().build(),
+                  ExecutionConfig(mode=Mode.UPA, specialize=False))
+        producers = group.shared_producers()
+        assert producers, "identical members must fuse"
+        assert all(type(p.driver) is Driver for p in producers)
 
         group = QueryGroup(shared=True)
         group.add("a", from_window(stream("s0")).distinct().build(),
@@ -106,7 +124,7 @@ class TestSingleImplementation:
                   ExecutionConfig(mode=Mode.UPA))
         producers = group.shared_producers()
         assert producers, "identical members must fuse"
-        assert all(type(p.driver) is Driver for p in producers)
+        assert all(type(p.driver) is SpecializedDriver for p in producers)
 
 
 class TestProgramStructure:

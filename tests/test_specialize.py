@@ -1,0 +1,197 @@
+"""Structural tests for program specialization (engine/specialize.py).
+
+The behavioural bar — byte-identical answers, output streams and counters
+across specialized × regime × batch × checked × telemetry — lives in the
+golden matrix (tests/test_goldens.py) and the per-suite equivalence
+tests.  This module pins the *structure*: the driver-selection seam, the
+per-driver closure compilation (no shared mutable state), the cached
+specialization table and its PRG604 cross-check, and the telemetry
+arm/disarm fast-path handoff.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Arrival,
+    ContinuousQuery,
+    ExecutionConfig,
+    Mode,
+    Schema,
+    StreamDef,
+    TimeWindow,
+    attr_equals,
+    from_window,
+)
+from repro.engine.driver import Driver
+from repro.engine.program import build_program
+from repro.engine.specialize import (
+    SpecializationTable,
+    SpecializedDriver,
+    make_driver,
+    specialize_program,
+)
+from repro.engine.strategies import ConfigError, compile_plan
+
+V = Schema(["v"])
+
+TRACE = [
+    Arrival(1, "a", (1,)),
+    Arrival(2, "b", (1,)),
+    Arrival(4, "a", (2,)),
+    Arrival(7, "b", (2,)),
+    Arrival(13, "a", (1,)),
+]
+
+
+def stream(name, window=10):
+    return StreamDef(name, V, TimeWindow(window))
+
+
+def join_plan():
+    return (from_window(stream("a"))
+            .where(attr_equals("v", 1))
+            .join(from_window(stream("b")), on="v")
+            .build())
+
+
+class TestDriverSelection:
+    def test_default_is_specialized(self):
+        query = ContinuousQuery(join_plan(), ExecutionConfig(mode=Mode.UPA))
+        assert type(query.executor.driver) is SpecializedDriver
+        assert isinstance(query.executor.driver, Driver)
+
+    def test_opt_out_is_the_interpreted_reference(self):
+        query = ContinuousQuery(
+            join_plan(), ExecutionConfig(mode=Mode.UPA, specialize=False))
+        assert type(query.executor.driver) is Driver
+
+    def test_make_driver_honours_config(self):
+        for specialize, expected in [(True, SpecializedDriver),
+                                     (False, Driver)]:
+            compiled = compile_plan(
+                join_plan(), ExecutionConfig(mode=Mode.UPA,
+                                             specialize=specialize))
+            driver = make_driver(compiled, build_program(compiled))
+            assert type(driver) is expected
+
+    def test_specialize_must_be_bool(self):
+        with pytest.raises(ConfigError):
+            ExecutionConfig(specialize="yes")
+
+
+class TestSpecializationTable:
+    def test_table_is_cached_on_the_program(self):
+        compiled = compile_plan(join_plan(), ExecutionConfig(mode=Mode.UPA))
+        program = build_program(compiled)
+        assert program.specialization is None
+        table = specialize_program(program)
+        assert isinstance(table, SpecializationTable)
+        assert program.specialization is table
+        assert specialize_program(program) is table  # idempotent
+
+    def test_table_mirrors_the_program(self):
+        compiled = compile_plan(join_plan(), ExecutionConfig(mode=Mode.UPA))
+        program = build_program(compiled)
+        table = specialize_program(program)
+        assert set(table.dispatch) == set(program.dispatch)
+        for name, plans in program.dispatch.items():
+            assert table.dispatch[name] == tuple(plans)
+        assert table.expire_ops == tuple(program.expire_ops)
+        assert set(table.routes) == set(program.routes)
+        assert table.step_kinds == tuple(
+            step.kind for step in program.steps)
+
+    def test_drivers_share_one_table_per_program(self):
+        compiled = compile_plan(join_plan(), ExecutionConfig(mode=Mode.UPA))
+        program = build_program(compiled)
+        a = SpecializedDriver(compiled, program)
+        b = SpecializedDriver(compiled, program)
+        assert a._table is b._table is program.specialization
+
+    def test_prg604_fires_on_a_tampered_table(self):
+        from repro.analysis.planlint import lint_compiled
+
+        compiled = compile_plan(join_plan(), ExecutionConfig(mode=Mode.UPA))
+        program = build_program(compiled)
+        specialize_program(program)
+        assert not [d for d in lint_compiled(compiled).diagnostics
+                    if d.rule == "PRG604"]
+        del program.specialization.dispatch[
+            next(iter(program.specialization.dispatch))]
+        fired = [d for d in lint_compiled(compiled).diagnostics
+                 if d.rule == "PRG604"]
+        assert fired and all(d.severity == "error" for d in fired)
+
+
+class TestClosureIsolation:
+    """Closures are compiled per driver: two drivers over the same program
+    (or over twin programs) must never share mutable runtime state."""
+
+    def test_boundary_caches_are_per_driver(self):
+        compiled = compile_plan(join_plan(), ExecutionConfig(mode=Mode.UPA))
+        program = build_program(compiled)
+        a = SpecializedDriver(compiled, program)
+        b = SpecializedDriver(compiled, program)
+        assert a._boundaries is not b._boundaries
+        assert a._fast_event is not b._fast_event
+        assert a._arrivals_pt is not b._arrivals_pt
+
+    def test_independent_queries_stay_independent(self):
+        q1 = ContinuousQuery(join_plan(), ExecutionConfig(mode=Mode.UPA))
+        q2 = ContinuousQuery(join_plan(), ExecutionConfig(mode=Mode.UPA))
+        q1.run(list(TRACE))
+        # Driving q1 must leave q2's state, clock and counters untouched.
+        assert q2.executor.driver.now == float("-inf")
+        assert q2.executor.driver.compiled.counters.snapshot() \
+            == {key: 0 for key in
+                q2.executor.driver.compiled.counters.snapshot()}
+        q2.run(list(TRACE))
+        assert dict(q1.answer()) == dict(q2.answer())
+
+    def test_closures_bind_their_own_operators(self):
+        q1 = ContinuousQuery(join_plan(), ExecutionConfig(mode=Mode.UPA))
+        q2 = ContinuousQuery(join_plan(), ExecutionConfig(mode=Mode.UPA))
+        ops1 = {id(op) for op in q1.compiled.ops.values()}
+        d2 = q2.executor.driver
+        for op, _expire, stages in d2._pass_plan:
+            assert id(op) not in ops1
+        for plans in d2._table.dispatch.values():
+            for plan in plans:
+                assert id(plan.leaf) not in ops1
+
+
+class TestFastPathLifecycle:
+    def test_fast_event_loop_installed_when_telemetry_off(self):
+        query = ContinuousQuery(join_plan(), ExecutionConfig(mode=Mode.UPA))
+        driver = query.executor.driver
+        assert "process_event" in driver.__dict__
+        assert driver.process_event is driver._fast_event
+
+    def test_armed_driver_runs_the_reference_per_tuple_loop(self):
+        query = ContinuousQuery(
+            join_plan(), ExecutionConfig(mode=Mode.UPA, telemetry=True))
+        driver = query.executor.driver
+        # Armed: the instance-attr fast loop is absent, so process_event
+        # resolves to the inherited interpreted method (whose duty-cycled
+        # expiration-pass shadow the telemetry layer installs).
+        assert "process_event" not in driver.__dict__
+        assert "_expiration_pass" in driver.__dict__
+
+    def test_disarm_reinstalls_the_fast_path(self):
+        query = ContinuousQuery(
+            join_plan(), ExecutionConfig(mode=Mode.UPA, telemetry=True))
+        query.run(list(TRACE))
+        driver = query.executor.driver
+        query.executor.disarm_telemetry()
+        assert driver._telemetry is None
+        assert "process_event" in driver.__dict__
+        assert driver.process_event is driver._fast_event
+
+    def test_interpreted_opt_out_has_no_fast_path(self):
+        query = ContinuousQuery(
+            join_plan(), ExecutionConfig(mode=Mode.UPA, specialize=False))
+        driver = query.executor.driver
+        assert "process_event" not in driver.__dict__
+        assert type(driver).process_event is Driver.process_event
