@@ -65,8 +65,8 @@ def compare_str_storage() -> None:
                 query3(gen, 200),
                 ExecutionConfig(mode=Mode.UPA, str_storage=storage))
             result = query.run(iter(events))
-            line.append(f"{storage}: {result.touches_per_event():.1f} "
-                        "touches/event")
+            line.append(f"{storage}: {result.touches_per_tuple():.1f} "
+                        "touches/tuple")
         print("  ".join(line))
 
 

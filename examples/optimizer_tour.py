@@ -71,7 +71,7 @@ def main() -> None:
         query = ContinuousQuery(plan, ExecutionConfig(
             mode=Mode.UPA, str_storage=STR_NEGATIVE))
         result = query.run(iter(events))
-        print(f"   {name:<36} {result.touches_per_event():10.1f}")
+        print(f"   {name:<36} {result.touches_per_tuple():10.1f}")
     print("\nThe cheaper-predicted rewriting is also the cheaper-measured "
           "one on this workload (experiment E8 asserts this in CI).")
 

@@ -65,7 +65,7 @@ def main() -> None:
         result = query.run(ReorderBuffer(slack=5.0).reorder(iter(events)))
         print(text)
         print(f"  -> {sum(result.answer().values())} live result tuple(s), "
-              f"{result.touches_per_event():.1f} touches/event")
+              f"{result.touches_per_tuple():.1f} touches/tuple")
         print("  " + query.explain().replace("\n", "\n  "))
         print()
 

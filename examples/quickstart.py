@@ -60,7 +60,7 @@ def main() -> None:
             print()
         result = query.run(list(events))
         print(f"{mode.value.upper():>7}: answer={dict(result.answer())} "
-              f"touches/event={result.touches_per_event():.1f}")
+              f"touches/tuple={result.touches_per_tuple():.1f}")
     print("\nAll three strategies materialize the same answer; they differ "
           "in how much state maintenance work it costs them.")
 

@@ -16,6 +16,8 @@ error-severity diagnostic fired (warnings do not fail a plan).
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..core.annotate import AnnotatedPlan, annotate
 from ..core.plan import LogicalNode
 from ..core.sharding import Partitionability
@@ -31,7 +33,8 @@ from .rules import (
 class LintReport:
     """Outcome of a lint run: diagnostics plus how many rules executed."""
 
-    def __init__(self, diagnostics: list[Diagnostic], rules_run: int):
+    def __init__(self, diagnostics: list[Diagnostic],
+                 rules_run: int) -> None:
         self.diagnostics = list(diagnostics)
         self.rules_run = rules_run
 
@@ -83,20 +86,23 @@ class LintReport:
                 f"warnings={len(self.warnings)}, rules={self.rules_run})")
 
 
-def lint(plan: LogicalNode, config=None, *,
+def lint(plan: LogicalNode, config: Any = None, *,
          annotated: AnnotatedPlan | None = None,
-         compiled=None,
-         claimed_sharding: Partitionability | None = None) -> LintReport:
+         compiled: Any = None,
+         claimed_sharding: Partitionability | None = None,
+         driver: Any = None) -> LintReport:
     """Run every applicable static rule over ``plan``.
 
     ``annotated`` defaults to a fresh :func:`annotate` pass — pass the
     pipeline's own :class:`AnnotatedPlan` to verify the annotations actually
     in use.  ``compiled`` enables the physical buffer-choice rules;
-    ``claimed_sharding`` enables the sharding-consistency cross-check.
+    ``claimed_sharding`` enables the sharding-consistency cross-check;
+    ``driver`` enables the closure-capture ownership checks (ALS702) over
+    the driver's compiled closures.
     """
     annotated = annotated if annotated is not None else annotate(plan)
     ctx = LintContext(plan, annotated, config=config, compiled=compiled,
-                      claimed_sharding=claimed_sharding)
+                      claimed_sharding=claimed_sharding, driver=driver)
     diagnostics: list[Diagnostic] = []
     for _rule_id, rule in PLAN_RULES:
         diagnostics.extend(rule(ctx))
@@ -104,7 +110,7 @@ def lint(plan: LogicalNode, config=None, *,
 
 
 def lint_rewrite(original: LogicalNode, candidate: LogicalNode,
-                 config=None) -> LintReport:
+                 config: Any = None) -> LintReport:
     """Verify an optimizer-produced ``candidate`` against its ``original``.
 
     Runs the full plan catalogue on the candidate plus the pairwise rewrite
@@ -121,14 +127,15 @@ def lint_rewrite(original: LogicalNode, candidate: LogicalNode,
     return report.merged(LintReport(diagnostics, len(REWRITE_RULES)))
 
 
-def lint_compiled(compiled, *,
-                  claimed_sharding: Partitionability | None = None
-                  ) -> LintReport:
+def lint_compiled(compiled: Any, *,
+                  claimed_sharding: Partitionability | None = None,
+                  driver: Any = None) -> LintReport:
     """Lint a compiled pipeline: its plan, its live annotations, and its
-    actual physical buffer choices."""
+    actual physical buffer choices (plus, when a ``driver`` is supplied,
+    the ownership of its compiled closures)."""
     return lint(compiled.root, compiled.config,
                 annotated=compiled.annotated, compiled=compiled,
-                claimed_sharding=claimed_sharding)
+                claimed_sharding=claimed_sharding, driver=driver)
 
 
 __all__ = ["Diagnostic", "LintReport", "lint", "lint_rewrite",

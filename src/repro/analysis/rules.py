@@ -34,7 +34,7 @@ executes.  Rule identifiers are stable API (tests and docs reference them).
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterator
+from typing import Any, Iterator
 
 from ..buffers.fifo import FifoBuffer
 from ..buffers.hashed import HashBuffer
@@ -97,17 +97,20 @@ class Diagnostic:
 
 
 class LintContext:
-    """Everything a rule may inspect.  ``compiled``/``claimed_sharding``
-    are optional — rules that need them skip silently when absent."""
+    """Everything a rule may inspect.  ``compiled``/``claimed_sharding``/
+    ``driver`` are optional — rules that need them skip silently when
+    absent (``driver`` enables the closure-capture checks of ALS702)."""
 
     def __init__(self, root: LogicalNode, annotated: AnnotatedPlan,
-                 config=None, compiled=None,
-                 claimed_sharding: Partitionability | None = None):
+                 config: Any = None, compiled: Any = None,
+                 claimed_sharding: Partitionability | None = None,
+                 driver: Any = None) -> None:
         self.root = root
         self.annotated = annotated
         self.config = config
         self.compiled = compiled
         self.claimed_sharding = claimed_sharding
+        self.driver = driver
         self._paths: dict[int, str] = {}
         self._index_paths(root, "$")
 
@@ -221,7 +224,9 @@ def rule_up002_shared_scan_pattern(ctx: LintContext) -> Iterator[Diagnostic]:
 # BUF — physical buffer-choice rules (need a CompiledQuery)
 # ---------------------------------------------------------------------------
 
-def _buffers_of(ctx: LintContext):
+def _buffers_of(ctx: LintContext
+                ) -> Iterator[tuple[LogicalNode, str, Any,
+                                    UpdatePattern | None]]:
     """Yield (node, label, buffer, feeding-pattern) for every operator state
     buffer of the compiled pipeline, unwrapping checked-mode monitors."""
     compiled = ctx.compiled
@@ -330,10 +335,10 @@ def rule_buf103_partition_sanity(ctx: LintContext) -> Iterator[Diagnostic]:
 # RW — rewrite-legality rules (pairwise: original vs candidate)
 # ---------------------------------------------------------------------------
 
-def _leaf_signature(plan: LogicalNode) -> tuple:
+def _leaf_signature(plan: LogicalNode) -> tuple[tuple[str, str], ...]:
     """Multiset of (stream, window) leaves — invariant under every legal
     rewrite in this optimizer (rewrites move operators, never windows)."""
-    leaves = []
+    leaves: list[tuple[str, str]] = []
     for node in plan.walk():
         if isinstance(node, WindowScan):
             leaves.append((node.stream.name, repr(node.stream.window)))
@@ -585,7 +590,7 @@ def rule_dm501_dead_negative_plumbing(ctx: LintContext) -> Iterator[Diagnostic]:
 # fused prefix would bypass the expiration machinery entirely).
 # ---------------------------------------------------------------------------
 
-def _program_of(ctx: LintContext):
+def _program_of(ctx: LintContext) -> Any:
     """The compiled pipeline's execution program (built on demand when no
     driver has been constructed yet)."""
     compiled = ctx.compiled
@@ -879,6 +884,20 @@ def rule_dm502_redundant_distinct(ctx: LintContext) -> Iterator[Diagnostic]:
             )
 
 
+# Imported at the bottom on purpose: ownership.py / bounds.py import the
+# Diagnostic/LintContext machinery defined above, so pulling their rule
+# callables in any earlier would be circular.
+from .bounds import (  # noqa: E402
+    rule_cst801_unbounded_state,
+    rule_cst802_buffer_fits_bound,
+    rule_cst803_certificate_monitored,
+)
+from .ownership import (  # noqa: E402
+    rule_als701_exclusive_ownership,
+    rule_als702_stale_captures,
+    rule_als703_module_level_sinks,
+)
+
 #: Plan-level rules run by lint(); (id, callable) in catalogue order.
 PLAN_RULES = (
     ("UP001", rule_up001_pattern_rederivation),
@@ -894,6 +913,12 @@ PLAN_RULES = (
     ("PRG602", rule_prg602_expiration_participants),
     ("PRG603", rule_prg603_fused_prefixes_stateless),
     ("PRG604", rule_prg604_specialization_coverage),
+    ("ALS701", rule_als701_exclusive_ownership),
+    ("ALS702", rule_als702_stale_captures),
+    ("ALS703", rule_als703_module_level_sinks),
+    ("CST801", rule_cst801_unbounded_state),
+    ("CST802", rule_cst802_buffer_fits_bound),
+    ("CST803", rule_cst803_certificate_monitored),
 )
 
 #: Pairwise rules run by lint_rewrite(original, candidate).

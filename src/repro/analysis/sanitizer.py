@@ -31,7 +31,9 @@ equivalence tests); only wall-clock time changes.
 from __future__ import annotations
 
 import math
-from typing import Hashable, Iterable, Iterator
+from collections import deque
+from heapq import heappop, heappush
+from typing import Any, Hashable, Iterable, Iterator
 
 from ..buffers.base import StateBuffer
 from ..core.patterns import STR, UpdatePattern
@@ -48,16 +50,26 @@ class SanitizerState:
         self.now: float = -math.inf
 
 
-class MonitoredBuffer(StateBuffer):
+class MonitoredBuffer(StateBuffer):  # type: ignore[misc]
     """A pattern-conformance proxy around any :class:`StateBuffer`.
 
     Mutations are checked against the update pattern of the feeding edge;
     reads (``probe``/``live``/iteration) delegate directly to the inner
     buffer so counter charges are identical to unchecked execution.
+
+    When a state-bound certificate is attached
+    (:func:`repro.analysis.bounds.attach_certificate`), the monitor also
+    tracks — per positive insert — the observed occupancy against the
+    certified horizon; see :meth:`arm_certificate`.
     """
 
+    #: Certificate tracking is off until arm_certificate() is called
+    #: (class-level default so unarmed monitors pay one attribute read).
+    cert_armed = False
+
     def __init__(self, inner: StateBuffer, pattern: UpdatePattern,
-                 label: str, nt_style: bool, state: SanitizerState):
+                 label: str, nt_style: bool,
+                 state: SanitizerState) -> None:
         # Deliberately no super().__init__: the proxy owns no counters and
         # no key index of its own — everything lives in ``inner``.
         self.inner = inner
@@ -69,6 +81,70 @@ class MonitoredBuffer(StateBuffer):
         self.expired = 0
         self.deleted = 0
         self._last_exp = -math.inf
+
+    # -- certificate tracking ------------------------------------------------
+
+    def arm_certificate(self, horizon: float,
+                        track_distinct: bool = False) -> None:
+        """Start tracking observed occupancy against a certified bound.
+
+        ``horizon`` is the certified maximum lifetime of a stored tuple
+        (the plan's largest window span; ``exp <= ts + horizon`` for every
+        conforming tuple, because a composite's ``exp`` is the minimum of
+        its constituents').  Three observations are maintained per
+        positive insert, all O(log n) worst case:
+
+        * a clamped clock estimate ``c`` (largest ``ts`` inserted so far);
+        * ``cert_peak_unexpired`` — the peak size of the min-heap of
+          pending expirations after dropping entries with ``exp <= c``:
+          an upper bound on the slot's live occupancy;
+        * ``cert_sliding_peak`` — the peak number of inserts within any
+          trailing ``horizon`` extent: the certificate's empirical
+          O(window) bound (any tuple live at ``c`` arrived after
+          ``c - horizon``, so peak_unexpired <= sliding_peak whenever
+          lifetimes conform).
+
+        Inserts outliving the horizon increment
+        ``cert_lifetime_violations`` instead of raising immediately, so
+        the drain-time validator can report totals.
+        """
+        self.cert_armed = True
+        self.cert_horizon = horizon
+        self.cert_peak_unexpired = 0
+        self.cert_sliding_peak = 0
+        self.cert_lifetime_violations = 0
+        self.cert_distinct_values: set[Any] = set()
+        self._cert_track_distinct = track_distinct
+        self._cert_heap: list[float] = []
+        self._cert_window: deque[float] = deque()
+        self._cert_clock = -math.inf
+
+    def _cert_track(self, t: Tuple) -> None:
+        horizon = self.cert_horizon
+        # Check A — certified lifetime: a conforming tuple never outlives
+        # one horizon (tolerance absorbs float round-off in ts + span).
+        if t.exp - t.ts > horizon + 1e-9 * max(1.0, abs(horizon)):
+            self.cert_lifetime_violations += 1
+        c = self._cert_clock
+        if t.ts > c:
+            c = self._cert_clock = t.ts
+        heap = self._cert_heap
+        heappush(heap, t.exp)
+        while heap and heap[0] <= c:
+            heappop(heap)
+        if len(heap) > self.cert_peak_unexpired:
+            self.cert_peak_unexpired = len(heap)
+        window = self._cert_window
+        # Clock-at-insert stamps are monotone (c only grows), so deque
+        # pruning from the left is exact regardless of tuple ts order.
+        window.append(c)
+        floor = c - horizon
+        while window and window[0] <= floor:
+            window.popleft()
+        if len(window) > self.cert_sliding_peak:
+            self.cert_sliding_peak = len(window)
+        if self._cert_track_distinct:
+            self.cert_distinct_values.add(t.values)
 
     # -- monitored mutations -------------------------------------------------
 
@@ -85,6 +161,8 @@ class MonitoredBuffer(StateBuffer):
                     f"stored tail ({self._last_exp}); WKS expirations must "
                     "follow generation order (Section 3.1)")
             self._last_exp = t.exp
+        if self.cert_armed:
+            self._cert_track(t)
 
     def insert(self, t: Tuple) -> None:
         self._check_insert(t)
@@ -181,18 +259,18 @@ class MonitoredBuffer(StateBuffer):
         return iter(self.inner)
 
     @property
-    def counters(self):  # type: ignore[override]
+    def counters(self) -> Any:  # type: ignore[override]
         return self.inner.counters
 
     @counters.setter
-    def counters(self, value) -> None:
+    def counters(self, value: Any) -> None:
         self.inner.counters = value
 
     @property
     def has_index(self) -> bool:
         return self.inner.has_index
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         # Structure-specific extras (oldest, partition_sizes, delete_by_key,
         # span, n_partitions, _key_of ...) pass straight through.
         return getattr(self.inner, name)
@@ -221,13 +299,14 @@ class Sanitizer:
         self.buffers.append(monitored)
         return monitored
 
-    def wrap_operator(self, op, label: str, negatives_allowed: bool) -> None:
+    def wrap_operator(self, op: Any, label: str,
+                      negatives_allowed: bool) -> None:
         """Intercept the operator's emission points with a provenance
         monitor (instance-attribute shadowing: the class stays untouched,
         the executor's attribute lookups find the wrapper)."""
         state = self.state
 
-        def check(outputs, now):
+        def check(outputs: Any, now: float) -> Any:
             if now > state.now:
                 state.now = now
             if not negatives_allowed:
@@ -246,14 +325,17 @@ class Sanitizer:
         orig_batch = op.process_batch
         orig_expire = op.expire
 
-        def process(input_index, t, now, _orig=orig_process, _check=check):
+        def process(input_index: int, t: Any, now: float,
+                    _orig: Any = orig_process, _check: Any = check) -> Any:
             return _check(_orig(input_index, t, now), now)
 
-        def process_batch(input_index, tuples, now,
-                          _orig=orig_batch, _check=check):
+        def process_batch(input_index: int, tuples: Any, now: float,
+                          _orig: Any = orig_batch,
+                          _check: Any = check) -> Any:
             return _check(_orig(input_index, tuples, now), now)
 
-        def expire(now, _orig=orig_expire, _check=check):
+        def expire(now: float, _orig: Any = orig_expire,
+                   _check: Any = check) -> Any:
             return _check(_orig(now), now)
 
         op.process = process
@@ -263,7 +345,8 @@ class Sanitizer:
             orig = getattr(op, hook, None)
             if orig is None:
                 continue
-            def relation_hook(values, now, _orig=orig, _check=check):
+            def relation_hook(values: Any, now: float, _orig: Any = orig,
+                              _check: Any = check) -> Any:
                 return _check(_orig(values, now), now)
             setattr(op, hook, relation_hook)
         self.monitored_ops += 1
@@ -282,7 +365,7 @@ class Sanitizer:
                 f"ops={self.monitored_ops})")
 
 
-def verify_drain(compiled) -> None:
+def verify_drain(compiled: Any) -> None:
     """Module-level convenience: verify a compiled pipeline's sanitizer,
     silently a no-op for unchecked pipelines."""
     sanitizer = getattr(compiled, "sanitizer", None)

@@ -188,11 +188,15 @@ def _cmd_lint(args) -> int:
 
     Exit status 0 when no error-severity diagnostic fired (warnings are
     advisory), 1 otherwise.  With ``--mode`` the plan is also compiled and
-    the physical buffer-choice and sharding-consistency rules run against
-    the pipeline the engine would actually execute.
+    the physical buffer-choice, sharding-consistency and ownership rules
+    run against the pipeline — and the driver — the engine would actually
+    execute.  ``--lint-certificate`` additionally prints the derived
+    symbolic state-bound certificate.
     """
+    from .analysis.bounds import attach_certificate
     from .analysis.planlint import lint, lint_compiled
     from .core.sharding import analyze_partitionability
+    from .engine.executor import Executor
     from .engine.strategies import compile_plan
     from .errors import PlanError
 
@@ -211,9 +215,15 @@ def _cmd_lint(args) -> int:
         print(f"compilation under mode={args.mode} rejected the plan: "
               f"{error}")
         return 0 if report.ok else 1
+    # Build the executor so the closure-capture rules (ALS702) see the
+    # driver's actual compiled closures, not just the static pipeline.
+    executor = Executor(compiled)
     verdict = analyze_partitionability(plan)
-    report = lint_compiled(compiled, claimed_sharding=verdict)
+    report = lint_compiled(compiled, claimed_sharding=verdict,
+                           driver=executor.driver)
     print(report.render())
+    if args.lint_certificate:
+        print(attach_certificate(compiled).render())
     return 0 if report.ok else 1
 
 
@@ -356,6 +366,10 @@ def main(argv: list[str] | None = None) -> int:
     lint.add_argument("--partitions", type=int, default=10)
     lint.add_argument("--str-storage", default="auto",
                       choices=["auto", "partitioned", "negative"])
+    lint.add_argument("--lint-certificate", action="store_true",
+                      help="also print the derived symbolic state-bound "
+                           "certificate (per-slot bound class, horizon, "
+                           "and per-unit-time cost)")
     _add_catalog_options(lint)
     lint.set_defaults(func=_cmd_lint)
 

@@ -131,6 +131,27 @@ class Driver:
         """Current result multiset Q(now)."""
         return self.compiled.view.snapshot(self.now)
 
+    # -- static introspection (ownership analysis) -------------------------
+
+    def introspection_roots(self) -> dict:
+        """Named mutable structures this driver owns, enumerable without
+        executing anything — the entry points the ALS7xx ownership
+        analysis walks (``analysis/ownership.py``)."""
+        return {
+            "dispatch": self._dispatch,
+            "expire_ops": self._expire_ops,
+            "lazy_ops": self._lazy_ops,
+            "routes": self._routes,
+            "leaf_bindings": self._leaf_bindings,
+            "subscribers": self._subscribers,
+        }
+
+    def compiled_closures(self):
+        """``(name, closure)`` pairs for every compiled closure this
+        driver runs.  The interpreted reference driver compiles none;
+        :class:`~repro.engine.specialize.SpecializedDriver` overrides."""
+        return iter(())
+
     def process_event(self, event: Event) -> None:
         """Advance the clock, expire state, then dispatch one event."""
         now = self._clock_for(event)

@@ -20,10 +20,10 @@ expire / dispatch implementation in the engine.
 from __future__ import annotations
 
 import time
-import warnings
 from itertools import islice
 from typing import Callable, Iterable, Sequence
 
+from ..analysis.bounds import attach_certificate, validate_certificate
 from ..analysis.sanitizer import verify_drain
 from ..errors import ExecutionError
 from ..streams.stream import Event
@@ -82,17 +82,13 @@ class RunResult:
             return 0.0
         return self.counters.touches / self.tuples_arrived
 
-    def touches_per_event(self) -> float:
-        """Deprecated alias for :meth:`touches_per_tuple`.
-
-        Historical name; the denominator was corrected to count stream
-        arrivals rather than all timeline events.  Scheduled for removal.
-        """
-        warnings.warn(
-            "RunResult.touches_per_event() is deprecated; use "
-            "touches_per_tuple() (same value, corrected name)",
-            DeprecationWarning, stacklevel=2)
-        return self.touches_per_tuple()
+    @property
+    def certificate(self):
+        """The pipeline's :class:`~repro.analysis.bounds.StateCertificate`
+        (symbolic per-operator state bounds + per-unit-time cost);
+        cross-validated against observed counters at drain time when the
+        run was ``checked=True``."""
+        return getattr(self.executor.compiled, "certificate", None)
 
     def __repr__(self) -> str:
         return (
@@ -115,6 +111,10 @@ class Executor:
         self.compiled = compiled
         self.program = build_program(compiled)
         self.driver = make_driver(compiled, self.program)
+        # Derive the symbolic state-bound certificate and (in checked
+        # mode) arm its monitors so drain-time validation can cross-check
+        # observed occupancy against the certified bounds.
+        self.certificate = attach_certificate(compiled)
 
     # -- driver surface ----------------------------------------------------
 
@@ -243,8 +243,11 @@ class Executor:
                         on_event(self, event)
         elapsed = time.perf_counter() - start
         # Checked execution: assert counter conservation on every monitored
-        # buffer now that the event stream is exhausted (no-op otherwise).
+        # buffer now that the event stream is exhausted (no-op otherwise),
+        # then cross-validate the observed occupancy peaks against the
+        # symbolic state-bound certificate.
         verify_drain(self.compiled)
+        validate_certificate(self.compiled)
         if driver._telemetry is not None:
             driver.record_run(elapsed)
         return RunResult(self, elapsed, driver._events_processed,

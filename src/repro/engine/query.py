@@ -62,16 +62,21 @@ class ContinuousQuery:
         plus a sharding marker — the per-stream routing keys a parallel
         run would use, or the reason the plan cannot be sharded — a lint
         verdict from the static rule catalogue
-        (:mod:`repro.analysis.planlint`), a telemetry marker (armed
-        instrument count, or how to enable it), and the compiled
-        execution program's step summary
+        (:mod:`repro.analysis.planlint`), the symbolic state-bound
+        certificate's one-line summary
+        (:meth:`~repro.analysis.bounds.StateCertificate.summary`), a
+        telemetry marker (armed instrument count, or how to enable it),
+        and the compiled execution program's step summary
         (:meth:`~repro.engine.program.ExecutionProgram.describe`)."""
+        from ..analysis.bounds import attach_certificate
         from ..analysis.planlint import lint_compiled
         from ..core.sharding import analyze_partitionability
 
         tree = explain(self.plan, self.compiled.annotated)
         verdict = analyze_partitionability(self.plan)
-        report = lint_compiled(self.compiled, claimed_sharding=verdict)
+        report = lint_compiled(self.compiled, claimed_sharding=verdict,
+                               driver=self.executor.driver)
+        certificate = attach_certificate(self.compiled)
         registry = self.compiled.telemetry
         if registry is None:
             metrics_note = "off (enable with ExecutionConfig(telemetry=True))"
@@ -81,6 +86,7 @@ class ContinuousQuery:
                             f"{ops} operators)")
         return (f"{tree}\n-- sharding: {verdict.describe()}"
                 f"\n-- lint: {report.summary()}"
+                f"\n-- bounds: {certificate.summary()}"
                 f"\n-- metrics: {metrics_note}"
                 f"\n-- program: {self.executor.program.describe()}")
 

@@ -708,16 +708,6 @@ class ShardedRunResult:
             return 0.0
         return self.counters.touches / self.tuples_arrived
 
-    def touches_per_event(self) -> float:
-        """Deprecated alias for :meth:`touches_per_tuple` (mirrors
-        :meth:`RunResult.touches_per_event`).  Scheduled for removal."""
-        import warnings
-        warnings.warn(
-            "ShardedRunResult.touches_per_event() is deprecated; use "
-            "touches_per_tuple() (same value, corrected name)",
-            DeprecationWarning, stacklevel=2)
-        return self.touches_per_tuple()
-
     def __repr__(self) -> str:
         note = (f", fallback={self.fallback_reason!r}"
                 if self.fallback_reason else "")

@@ -346,6 +346,24 @@ class SpecializedDriver(Driver):
 
         return window_pt, window_b
 
+    def compiled_closures(self):
+        """``(name, closure)`` pairs for every compiled closure, without
+        executing anything — the ALS702 ownership rule walks their
+        ``__closure__`` cells to prove no stale specialization table or
+        pre-seal plan object was captured."""
+        yield "fast_event", self._fast_event
+        for stream, fns in self._arrivals_pt.items():
+            for i, fn in enumerate(fns):
+                yield f"arrival_pt:{stream}[{i}]", fn
+        for stream, fns in self._arrivals_b.items():
+            for i, fn in enumerate(fns):
+                yield f"arrival_b:{stream}[{i}]", fn
+
+    def introspection_roots(self) -> dict:
+        roots = super().introspection_roots()
+        roots["boundaries"] = self._boundaries
+        return roots
+
     def _compile_event_loop(self):
         """Compile the fused per-tuple event loop: one closure covering
         expire → dispatch → propagate → purge → deliver with every step

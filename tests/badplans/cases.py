@@ -16,6 +16,8 @@ the ``repro lint`` documentation as a catalogue of what each rule means.
 from __future__ import annotations
 
 import dataclasses
+import sys
+import types
 from typing import Callable
 
 from repro.analysis.planlint import (
@@ -25,6 +27,7 @@ from repro.analysis.planlint import (
     lint_rewrite,
 )
 from repro.buffers.fifo import FifoBuffer
+from repro.buffers.listbuffer import ListBuffer
 from repro.buffers.partitioned import PartitionedBuffer
 from repro.core.annotate import annotate
 from repro.core.metrics import Counters
@@ -42,6 +45,7 @@ from repro.core.plan import (
 )
 from repro.core.sharding import Partitionability, analyze_partitionability
 from repro.core.tuples import Schema
+from repro.engine.executor import Executor
 from repro.engine.program import build_program
 from repro.engine.specialize import specialize_program
 from repro.engine.strategies import (
@@ -51,6 +55,7 @@ from repro.engine.strategies import (
     compile_plan,
 )
 from repro.streams.relation import NRR
+from repro.streams.stream import StreamDef
 from repro.workloads import queries
 from repro.workloads.traffic import TrafficTraceGenerator
 
@@ -296,6 +301,105 @@ def _prg604_stale_specialization_table() -> LintReport:
     return lint_compiled(compiled)
 
 
+# ---------------------------------------------------------------------------
+# ALS — ownership and aliasing violations
+# ---------------------------------------------------------------------------
+
+def _als701_aliased_join_state() -> LintReport:
+    """Alias Query 1's left join buffer into the right slot as well — the
+    kind of defect a buffer-pool 'optimization' would produce.  Every
+    buffer type stays pattern-correct (BUF101–103 stay green), but one
+    side's inserts and purges now silently corrupt the other's state."""
+    plan = queries.query1(_GEN, WINDOW)
+    _config, compiled = _compiled(plan, mode=Mode.UPA)
+    op = compiled.ops[id(plan)]
+    op._buffers = (op._buffers[0], op._buffers[0])  # the alias
+    return lint_compiled(compiled)
+
+
+def _als702_stale_specialized_closures() -> LintReport:
+    """Build a specialized driver, then re-derive the program's
+    specialization table behind its back — the defect a plan-cache
+    invalidation bug would produce.  The driver's monomorphic closures
+    keep executing the superseded table while PRG604 (which checks the
+    *cached* table against the program) stays green."""
+    plan = queries.query1(_GEN, WINDOW)
+    _config, compiled = _compiled(plan, mode=Mode.UPA)
+    executor = Executor(compiled)
+    executor.program.specialization = None  # drop the cache ...
+    specialize_program(executor.program)    # ... and re-derive a new table
+    return lint_compiled(compiled, driver=executor.driver)
+
+
+def _als703_module_level_counter_sink() -> LintReport:
+    """Reconstruct PR 5's ``NULL_COUNTERS`` bug: a *mutable* module-level
+    counter sink aliased into a compiled pipeline's buffer.  Every
+    pipeline sharing the module global accumulates each other's writes —
+    cross-query contamination no per-run check can observe."""
+    plan = queries.query1(_GEN, WINDOW)
+    _config, compiled = _compiled(plan, mode=Mode.UPA)
+    module = types.ModuleType("repro._badplan_sink")
+    module.SINK_COUNTERS = Counters()
+    sys.modules["repro._badplan_sink"] = module
+    try:
+        op = compiled.ops[id(plan)]
+        op._buffers[0].counters = module.SINK_COUNTERS  # the alias
+        return lint_compiled(compiled)
+    finally:
+        del sys.modules["repro._badplan_sink"]
+
+
+# ---------------------------------------------------------------------------
+# CST — state-bound certificate violations
+# ---------------------------------------------------------------------------
+
+def _unbounded_scan(name: str) -> WindowScan:
+    """A scan of an unbounded (windowless) stream — tuples never expire."""
+    return WindowScan(StreamDef(name, Schema(["v"]), None))
+
+
+def _cst801_unbounded_join_state() -> LintReport:
+    """A join over two unbounded streams, compiled under the explicit
+    ``allow_unbounded_state`` opt-in, then linted against a configuration
+    *without* it — the config swap a deployment bug would produce.  The
+    compile-time guard saw the opt-in; only the certificate re-derivation
+    catches that the running configuration never consented to state that
+    nothing ever purges."""
+    plan = Join(_unbounded_scan("inf_a"), _unbounded_scan("inf_b"),
+                "v", "v")
+    config = ExecutionConfig(mode=Mode.UPA, allow_unbounded_state=True)
+    compiled = compile_plan(plan, config, Counters())
+    swapped = ExecutionConfig(mode=Mode.UPA)
+    return lint(plan, swapped, annotated=compiled.annotated,
+                compiled=compiled)
+
+
+def _cst802_window_state_in_scan_list() -> LintReport:
+    """Move Query 1's left join state — certified O(window) — into a
+    pattern-blind scan list.  No BUF rule objects (a scan list is never
+    order-corrupted), but every expiration now pays the O(n) scan the
+    bound class was chosen to eliminate (Section 5.3.2)."""
+    plan = queries.query1(_GEN, WINDOW)
+    _config, compiled = _compiled(plan, mode=Mode.UPA)
+    op = compiled.ops[id(plan)]
+    good = op._buffers[0]
+    op._buffers = (ListBuffer(key_of=good._key_of), op._buffers[1])
+    return lint_compiled(compiled)
+
+
+def _cst803_unmonitored_checked_buffer() -> LintReport:
+    """Compile Query 1 in checked mode, then strip the sanitizer monitor
+    off one join side.  The drain-time certificate cross-check reads
+    observed occupancy from the monitor, so the unwrapped buffer is a
+    hole in the certificate: its state could outgrow the bound with no
+    violation ever raised."""
+    plan = queries.query1(_GEN, WINDOW)
+    _config, compiled = _compiled(plan, mode=Mode.UPA, checked=True)
+    op = compiled.ops[id(plan)]
+    op._buffers = (op._buffers[0].inner, op._buffers[1])  # unwrap
+    return lint_compiled(compiled)
+
+
 #: Every case, in rule-catalogue order.  ``rule`` is the diagnostic the
 #: case must produce; other rules may legitimately fire alongside it (a
 #: lying SharedScan, for instance, trips both UP002 and UP001).
@@ -348,6 +452,24 @@ CORPUS: tuple[BadPlan, ...] = (
     BadPlan("stale-specialization-table", "PRG604",
             "cached specialization table lost one stream's closures",
             _prg604_stale_specialization_table),
+    BadPlan("aliased-join-state", "ALS701",
+            "one buffer instance aliased into both join state slots",
+            _als701_aliased_join_state),
+    BadPlan("stale-specialized-closures", "ALS702",
+            "driver closures bound to a superseded specialization table",
+            _als702_stale_specialized_closures),
+    BadPlan("module-level-counter-sink", "ALS703",
+            "mutable module-global counters aliased into a pipeline",
+            _als703_module_level_counter_sink),
+    BadPlan("unbounded-join-state", "CST801",
+            "unbounded state run under a config that never opted in",
+            _cst801_unbounded_join_state),
+    BadPlan("window-state-in-scan-list", "CST802",
+            "O(window) state demoted to a pattern-blind scan list",
+            _cst802_window_state_in_scan_list),
+    BadPlan("unmonitored-checked-buffer", "CST803",
+            "checked-mode buffer stripped of its sanitizer monitor",
+            _cst803_unmonitored_checked_buffer),
 )
 
 __all__ = ["BadPlan", "CORPUS", "WINDOW"]

@@ -180,9 +180,6 @@ class TestMetricDenominators:
         result = self._tick_heavy_run()
         assert result.touches_per_tuple() == pytest.approx(
             result.counters.touches / 10)
-        # Back-compat alias reports the same (corrected) value, warning.
-        with pytest.warns(DeprecationWarning):
-            assert result.touches_per_event() == result.touches_per_tuple()
 
     def test_zero_arrival_trace_reports_zero(self):
         b0, _ = _window_sources(8)

@@ -103,12 +103,25 @@ class TestReadmeQuickstart:
         assert namespace["report"].ok
         assert namespace["query"].compiled.sanitizer is not None
         explained = namespace["query"].explain()
-        assert "-- lint: clean (13 rules)" in explained
+        assert "-- lint: clean (19 rules)" in explained
         # The execution-program footer the README promises, verbatim up to
         # the plan-dependent counts.
         assert ("-- program: EXPIRE>DISPATCH>PROPAGATE>PURGE>DELIVER"
                 in explained)
         assert "layers=checked" in explained
+
+    def test_certificate_quickstart_runs(self):
+        """The ownership/bounds snippet is self-contained, derives a fully
+        bounded certificate, and survives a checked run's drain-time
+        cross-validation."""
+        blocks = [b for b in re.findall(r"```python\n(.*?)```", self.README,
+                                        re.S) if "derive_certificate" in b]
+        assert blocks, "README lost its certificate quickstart"
+        namespace: dict = {}
+        exec(compile(blocks[0], "README-certificate", "exec"), namespace)
+        certificate = namespace["certificate"]
+        assert certificate.bounded
+        assert "-- bounds: " in namespace["query"].explain()
 
     def test_cli_examples_reference_real_subcommands(self):
         from repro.cli import main

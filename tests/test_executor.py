@@ -142,9 +142,7 @@ class TestRunResult:
         assert result.time_per_1000() == 0.0
         assert result.touches_per_tuple() == 0.0
 
-    def test_touches_per_event_deprecated(self):
+    def test_touches_per_event_removed(self):
         plan = from_window(stream()).build()
         result = ContinuousQuery(plan).run([Arrival(1, "s0", (1,))])
-        with pytest.warns(DeprecationWarning, match="touches_per_tuple"):
-            value = result.touches_per_event()
-        assert value == result.touches_per_tuple()
+        assert not hasattr(result, "touches_per_event")

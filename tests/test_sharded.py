@@ -463,14 +463,12 @@ class TestFallbacks:
         assert result.state_size >= 0
         assert "shards=3" in repr(result)
 
-    def test_sharded_touches_per_event_deprecated(self):
+    def test_sharded_touches_per_event_removed(self):
         s0, _ = stream_pair()
         plan = from_window(s0).distinct().build()
         sharded = ShardedExecutor(plan, shards=2, backend="serial")
         result = sharded.run(random_arrivals(40, n_streams=1))
-        with pytest.warns(DeprecationWarning, match="touches_per_tuple"):
-            value = result.touches_per_event()
-        assert value == result.touches_per_tuple()
+        assert not hasattr(result, "touches_per_event")
 
 
 # ---------------------------------------------------------------------------
