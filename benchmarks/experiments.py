@@ -397,6 +397,192 @@ def program_overhead() -> list[Measurement]:
     return results
 
 
+def measure_columnar_cell(label: str, window: float,
+                          columnar: bool = True) -> Measurement:
+    """One fresh batch=64 run of a single ``columnar_speedup`` cell.
+
+    Used by the speedup tests for targeted re-measurement, exactly like
+    :func:`measure_program_cell`: a transient spike vanishes on retry, a
+    real regression is slow every time.
+    """
+    for shape_label, plan_fn, config_factory, traffic in _program_shapes():
+        if shape_label == label:
+            gen = make_generator(traffic)
+            events = trace_for(window, traffic)
+            return run_once(plan_fn(gen, window), events,
+                            config_factory(columnar=columnar),
+                            label if columnar else f"{label}/row",
+                            window, batch=64)
+    raise KeyError(f"unknown columnar cell label: {label!r}")
+
+
+#: Chunk sizes measured by the transport micro-cells (DEFAULT_CHUNK and the
+#: batch=64 size the E13 sweep ships).
+TRANSPORT_CHUNKS = (64, 256)
+
+#: Shard count of the transport micro-cells (the E13 sweep's middle cell).
+TRANSPORT_SHARDS = 4
+
+
+def transport_cost() -> list[Measurement]:
+    """Per-chunk shard-transport cost: fused routed shm codec vs pickle.
+
+    Replays the E13 trace's global chunks through both transports end to
+    end at :data:`TRANSPORT_SHARDS` shards — everything between "the
+    parent holds a global chunk" and "every worker holds a processable
+    :class:`ChunkTable`":
+
+    * ``transport/shm``: ONE fused route+encode of the global chunk
+      (``encode_routed`` — routing hash inlined, shared ts timeline,
+      value columns concatenated shard-major, each value packed once, no
+      per-shard event lists or Tick materialization), one segment write,
+      then per shard: the tiny ``("cshard", nbytes, header)`` message over
+      a real :func:`multiprocessing.Pipe` and ``decode_routed`` over the
+      segment.
+    * ``transport/pickle``: ``route_chunk`` (per-shard event lists with
+      foreign arrivals re-materialized as ticks), then per shard:
+      compact-encode the shard's events, send the full ``("chunk", ...)``
+      message over the same real pipes, re-materialize the events, and
+      columnarize them (``ChunkTable.from_events``) — exactly what the
+      legacy path costs a columnar worker driver.
+
+    Both sides pay genuine pipe syscalls and copies (one pipe pair per
+    shard, drained synchronously per chunk, so in-flight bytes stay far
+    below the pipe buffer), and both stop at the same observable state: a
+    constructed :class:`ChunkTable` whose ``group_values`` answers on
+    demand (``from_events`` gathers cached rows; ``decode_routed``
+    decodes per-shard column slices).  The ``*/eager`` variants extend
+    both sides through eager ``group_values`` of every owned stream, so
+    the deferred string/number decoding the shm path pushes into the
+    column phase is also on the record.  Costs are per 1000 *global*
+    timeline rows (each shard sees the whole timeline, so global rows are
+    the common denominator).  Each transport is the minimum over
+    interleaved rounds; the ``window`` field carries the chunk size.
+    ``benchmarks/test_columnar_speedup.py`` gates the lazy-boundary ratio
+    at ``DEFAULT_CHUNK``.
+    """
+    import multiprocessing
+    import time as _time
+
+    from repro.core.sharding import analyze_partitionability
+    from repro.engine.columnar import ChunkTable, decode_routed, \
+        encode_routed
+    from repro.engine.shard import ShardRouter, _decode_event, _encode_event
+    from repro.workloads import query1
+
+    gen = make_generator()
+    part = analyze_partitionability(query1(gen, 400.0))
+    events = [e for e in trace_for(400)]
+    results: list[Measurement] = []
+    pipes = [multiprocessing.Pipe() for _ in range(TRANSPORT_SHARDS)]
+    try:
+        for chunk_size in TRANSPORT_CHUNKS:
+            router = ShardRouter(part.keys, TRANSPORT_SHARDS)
+            key_index = router._index
+            chunks = [events[i:i + chunk_size]
+                      for i in range(0, len(events), chunk_size)]
+            segment = bytearray(1 << 20)  # stand-in for the shm segment
+            n = len(events)
+
+            def shm_round(eager):
+                start = _time.perf_counter()
+                for chunk in chunks:
+                    payload, headers, _arrivals, _broadcasts = encode_routed(
+                        chunk, key_index, TRANSPORT_SHARDS)
+                    nbytes = len(payload)
+                    segment[:nbytes] = payload
+                    for (parent, _), header in zip(pipes, headers):
+                        parent.send(("cshard", nbytes, header))
+                    for _, worker in pipes:
+                        message = worker.recv()
+                        table = decode_routed(
+                            memoryview(segment)[:message[1]], message[2])
+                        if eager:
+                            for stream in table.groups():
+                                table.group_values(stream)
+                return _time.perf_counter() - start
+
+            def pickle_round(eager):
+                start = _time.perf_counter()
+                for chunk in chunks:
+                    per_shard = router.route_chunk(chunk)
+                    for (parent, _), shard_events in zip(pipes, per_shard):
+                        parent.send(
+                            ("chunk",
+                             [_encode_event(e) for e in shard_events]))
+                    for _, worker in pipes:
+                        message = worker.recv()
+                        decoded = [_decode_event(r) for r in message[1]]
+                        table = ChunkTable.from_events(decoded)
+                        if eager:
+                            for stream in table.groups():
+                                table.group_values(stream)
+                return _time.perf_counter() - start
+
+            cells = (("transport/shm", shm_round, False),
+                     ("transport/pickle", pickle_round, False),
+                     ("transport/shm-eager", shm_round, True),
+                     ("transport/pickle-eager", pickle_round, True))
+            for _, fn, eager in cells:
+                fn(eager)  # warm-up, discarded
+            best: dict = {}
+            for _ in range(3):  # interleaved rounds, min per cell
+                for label, fn, eager in cells:
+                    seconds = fn(eager)
+                    if label not in best or seconds < best[label]:
+                        best[label] = seconds
+            for label, _, _ in cells:
+                results.append(Measurement(
+                    label=label, window=chunk_size, events=n,
+                    time_ms_per_1000=best[label] / n * 1000.0 * 1000.0,
+                    touches_per_event=0.0, answer_size=0))
+    finally:
+        for parent, worker in pipes:
+            parent.close()
+            worker.close()
+    return results
+
+
+def columnar_speedup() -> list[Measurement]:
+    """Columnar chunk plane audit: E1–E5 UPA cells at batch=64, columnar
+    on vs off, plus the shard-transport micro-cells.
+
+    The chunk plane pivots each micro-batch into struct-of-arrays columns,
+    bulk-inserts window state, and evaluates fused stateless prefixes
+    column-wise; ``columnar=False`` runs the identical specialized driver
+    row at a time.  Labels are the RESULTS.md cell names, with the row
+    reference suffixed ``/row`` (mirroring ``program_overhead``'s
+    ``/interp`` convention); ``benchmarks/test_columnar_speedup.py``
+    asserts the geomean speedup and byte-identical answers.
+    """
+    results: list[Measurement] = []
+    for label, plan_fn, config_factory, traffic in _program_shapes():
+        gen = make_generator(traffic)
+        for window in windows():
+            events = trace_for(window, traffic)
+            # Same measurement protocol as program_overhead: one discarded
+            # warm-up, then the minimum over interleaved rounds per side.
+            run_once(plan_fn(gen, window), events, config_factory(),
+                     label, window, batch=64)
+            col_runs, row_runs = [], []
+            for _ in range(3):
+                col_runs.append(run_once(
+                    plan_fn(gen, window), events, config_factory(),
+                    label, window, batch=64))
+                row_runs.append(run_once(
+                    plan_fn(gen, window), events,
+                    config_factory(columnar=False),
+                    f"{label}/row", window, batch=64))
+            results.append(min(col_runs, key=lambda m: m.time_ms_per_1000))
+            results.append(min(row_runs, key=lambda m: m.time_ms_per_1000))
+    print_table("COLUMNAR — chunk plane on vs off (batch=64) on the "
+                "E1–E5 cells", results)
+    transport = transport_cost()
+    print_table("COLUMNAR — per-chunk shard transport, shm codec vs "
+                "pickle pipe", transport, row_key="chunk")
+    return results + transport
+
+
 EXPERIMENTS = {
     "e1": e1_query1_ftp,
     "e2": e2_query1_telnet,
@@ -411,4 +597,5 @@ EXPERIMENTS = {
     "e11": e11_reeval_baseline,
     "e13": e13_shard_scaling,
     "program": program_overhead,
+    "columnar": columnar_speedup,
 }

@@ -1,0 +1,291 @@
+"""The columnar chunk plane must repay its pivot — and say where.
+
+The chunk plane (``engine/columnar.py``) pivots each micro-batch into
+struct-of-arrays columns, bulk-inserts window state, evaluates fused
+stateless prefixes column-wise, and ships shard chunks through a
+zero-pickle shm codec.  These tests replay the E1–E5 UPA cells at
+``batch=64`` columnar-on vs columnar-off (the identical specialized
+driver, row at a time) and gate three claims:
+
+* **prefix-bound cells** — where a selective stateless prefix carries
+  the per-tuple work (E1's protocol filter drops ~90% of rows before
+  any state is touched) the column kernels must win by at least
+  ``REPRO_COLUMNAR_SPEEDUP_TOL`` (default 1.2x) in geomean;
+* **aggregate** — over *all* cells, state-heavy ones included, the
+  plane must still win in geomean by ``REPRO_COLUMNAR_AGGREGATE_TOL``
+  (default 1.05x).  The full-matrix geomean measures ~1.13x on the dev
+  container and is bounded well below the prefix-cell ratio by shared
+  work: in E2/E4-neg, 50–80% of the runtime is operator/answer-view
+  state maintenance that both drivers execute instruction-for-
+  instruction identically (RESULTS.md, "columnar"), so the plane's
+  driver savings are diluted per Amdahl.  The gate therefore proves
+  "never a loss, a win everywhere, a big win where the mechanism
+  applies" rather than a flat factor;
+* **transport** — at ``DEFAULT_CHUNK`` the fused routed shm codec must
+  beat the pickle pipe per global chunk by
+  ``REPRO_COLUMNAR_TRANSPORT_TOL`` (default 2.0x) up to the lazy
+  ChunkTable boundary both transports share.
+
+Wall-clock gates use the noise-tolerant protocol of
+``test_program_overhead.py``: each side is a minimum over interleaved
+rounds, and a violating comparison is re-measured (both sides, paired)
+before it counts — transient spikes vanish on retry, real regressions
+are slow every time.  Exactness is not gated here: byte-identical
+answers, output streams, counters and certificates across the columnar
+axis are pinned by the golden matrix (``tests/test_goldens.py``).
+"""
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.engine.shard import DEFAULT_CHUNK
+
+from .common import quick_mode, windows
+from .experiments import (
+    EXPERIMENTS, columnar_speedup, measure_columnar_cell, transport_cost)
+from .harness import BENCH_SCHEMA, bench_document, main as harness_main
+
+#: Cells whose specialized plans are dominated by a selective stateless
+#: prefix — the regime the column kernels target.  E1 (Q1/ftp) filters
+#: ~90% of arrivals on a string-equality column before any window or
+#: view state is touched.
+PREFIX_CELLS = ("E1",)
+
+#: All E-cell labels the sweep must cover (RESULTS.md names).
+CELL_LABELS = ("E1", "E2", "E3-src", "E3-srcdst", "E4-neg", "E5")
+
+#: Transport micro-cell labels (the ``window`` field carries chunk size).
+TRANSPORT_LABELS = ("transport/shm", "transport/pickle",
+                    "transport/shm-eager", "transport/pickle-eager")
+
+SPEEDUP_TOL = float(os.environ.get("REPRO_COLUMNAR_SPEEDUP_TOL", "1.2"))
+AGGREGATE_TOL = float(
+    os.environ.get("REPRO_COLUMNAR_AGGREGATE_TOL", "1.05"))
+TRANSPORT_TOL = float(
+    os.environ.get("REPRO_COLUMNAR_TRANSPORT_TOL", "2.0"))
+
+#: Per-cell slack for columnar-vs-row: a single cell may transiently
+#: measure up to this factor of its row twin (GC, host steal) as long as
+#: the paired re-measurement agrees and the aggregate still favours the
+#: chunk plane.
+CELL_TOL = float(os.environ.get("REPRO_COLUMNAR_CELL_TOL", "1.25"))
+
+#: Quick-mode traces are too short (600–2400 events) to resolve the
+#: strict factors on a shared 1-vCPU runner; floors are relaxed by this
+#: divisor there (the full-window run keeps them strict).
+QUICK_NOISE = 1.25
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    """One sweep per test session (the replay dominates the runtime)."""
+    return columnar_speedup()
+
+
+def _split(measurements):
+    columnar = {(m.label, m.window): m for m in measurements
+                if not m.label.startswith("transport/")
+                and not m.label.endswith("/row")}
+    row = {(m.label.removesuffix("/row"), m.window): m
+           for m in measurements if m.label.endswith("/row")}
+    transport = {(m.label, m.window): m for m in measurements
+                 if m.label.startswith("transport/")}
+    return columnar, row, transport
+
+
+def _geomean(ratios):
+    return math.exp(sum(map(math.log, ratios)) / len(ratios))
+
+
+def _floor(tol):
+    return tol / (QUICK_NOISE if quick_mode() else 1.0)
+
+
+def _ratios(columnar, row):
+    """(label, window) -> row_time / columnar_time (higher = plane wins)."""
+    return {key: row[key].time_ms_per_1000 / m.time_ms_per_1000
+            for key, m in columnar.items()}
+
+
+def _remeasure(times, keys):
+    """Paired fresh measurement of ``keys``; keeps the min per side."""
+    for label, window in keys:
+        fresh_col = measure_columnar_cell(label, window)
+        fresh_row = measure_columnar_cell(label, window, columnar=False)
+        col_t, row_t = times[(label, window)]
+        times[(label, window)] = (
+            min(col_t, fresh_col.time_ms_per_1000),
+            min(row_t, fresh_row.time_ms_per_1000))
+
+
+def _gate_geomean(columnar, row, keys, bar, what):
+    """Assert geomean(row/col) over ``keys`` >= bar, with paired retry.
+
+    On violation the worst cells are re-measured fresh (both sides, min
+    per side across all measurements) up to twice before the assertion
+    fires — same protocol as ``test_program_overhead.py``.
+    """
+    times = {key: (columnar[key].time_ms_per_1000,
+                   row[key].time_ms_per_1000) for key in keys}
+    for _retry in range(2):
+        ratios = {key: row_t / col_t
+                  for key, (col_t, row_t) in times.items()}
+        if _geomean(ratios.values()) >= bar:
+            break
+        worst = sorted(ratios, key=ratios.get)[:4]
+        _remeasure(times, worst)
+    ratios = {key: row_t / col_t for key, (col_t, row_t) in times.items()}
+    geomean = _geomean(ratios.values())
+    detail = ", ".join(f"{label}@{window:g}={ratio:.2f}" for
+                       (label, window), ratio in sorted(ratios.items()))
+    assert geomean >= bar, (
+        f"{what}: geomean {geomean:.3f}x < {bar:.3g}x ({detail})")
+
+
+class TestColumnarSpeedup:
+    def test_registered_with_harness(self):
+        assert EXPERIMENTS["columnar"] is columnar_speedup
+
+    def test_sweep_covers_every_cell_both_ways(self, measurements):
+        columnar, row, transport = _split(measurements)
+        assert set(columnar) == set(row)
+        assert {label for label, _w in columnar} == set(CELL_LABELS)
+        expected_windows = set(windows())
+        for label in CELL_LABELS:
+            got = {w for lbl, w in columnar if lbl == label}
+            assert got == expected_windows, label
+        assert {label for label, _w in transport} == set(TRANSPORT_LABELS)
+
+    def test_prefix_bound_cells_meet_speedup_bar(self, measurements):
+        """Where the fused column kernels carry the work, the plane must
+        deliver the headline factor (measured 1.4–1.5x on E1)."""
+        columnar, row, _ = _split(measurements)
+        keys = [key for key in columnar if key[0] in PREFIX_CELLS]
+        assert keys
+        _gate_geomean(columnar, row, keys, _floor(SPEEDUP_TOL),
+                      "prefix-bound cells")
+
+    def test_aggregate_speedup_over_all_cells(self, measurements):
+        """State-heavy cells dilute the win (shared stateful work is
+        identical on both drivers) but must never erase it."""
+        columnar, row, _ = _split(measurements)
+        _gate_geomean(columnar, row, sorted(columnar), _floor(AGGREGATE_TOL),
+                      "all E-cells")
+
+    def test_no_cell_meaningfully_slower(self, measurements):
+        """A violating cell gets one fresh paired re-measurement before
+        it counts: a genuinely slower plane loses the re-match too."""
+        columnar, row, _ = _split(measurements)
+        limit = CELL_TOL * (QUICK_NOISE if quick_mode() else 1.0)
+        violations = []
+        for key in sorted(columnar):
+            col_t = columnar[key].time_ms_per_1000
+            row_t = row[key].time_ms_per_1000
+            if col_t > limit * row_t:
+                times = {key: (col_t, row_t)}
+                _remeasure(times, [key])
+                col_t, row_t = times[key]
+            if col_t > limit * row_t:
+                violations.append(
+                    f"{key[0]} W={key[1]:g}: columnar {col_t:.2f} ms/1k "
+                    f"> {limit:.3g}x row {row_t:.2f}")
+        assert not violations, "\n".join(violations)
+
+    def test_identical_answers_both_ways(self, measurements):
+        """The two drivers replay identical traces; answer sizes and
+        event counts must agree cell by cell (a fast driver that drops
+        tuples is not an optimisation)."""
+        columnar, row, _ = _split(measurements)
+        for key, m in columnar.items():
+            assert m.events > 0, key
+            assert m.answer_size == row[key].answer_size, key
+            assert m.events == row[key].events, key
+
+
+class TestTransportCost:
+    """E13 per-chunk transport: fused routed shm codec vs pickle pipe."""
+
+    def test_transport_cells_cover_default_chunk(self, measurements):
+        _, _, transport = _split(measurements)
+        chunks = {w for label, w in transport if label == "transport/shm"}
+        assert DEFAULT_CHUNK in chunks
+
+    def test_shm_codec_beats_pickle_at_default_chunk(self, measurements):
+        """The gated boundary is lazy on BOTH sides (a constructed
+        ChunkTable answering ``group_values`` on demand); the recorded
+        ``*/eager`` variants extend both sides through eager
+        materialization.  On violation the whole micro-bench re-runs
+        (it is cheap) keeping the min per cell."""
+        _, _, transport = _split(measurements)
+        best = {key: m.time_ms_per_1000 for key, m in transport.items()}
+        bar = _floor(TRANSPORT_TOL)
+        for _retry in range(2):
+            shm = best[("transport/shm", DEFAULT_CHUNK)]
+            pickle_t = best[("transport/pickle", DEFAULT_CHUNK)]
+            if pickle_t / shm >= bar:
+                break
+            for m in transport_cost():
+                key = (m.label, m.window)
+                best[key] = min(best[key], m.time_ms_per_1000)
+        shm = best[("transport/shm", DEFAULT_CHUNK)]
+        pickle_t = best[("transport/pickle", DEFAULT_CHUNK)]
+        assert pickle_t / shm >= bar, (
+            f"transport at chunk={DEFAULT_CHUNK}: shm {shm:.2f} vs pickle "
+            f"{pickle_t:.2f} ms/1k global rows = {pickle_t / shm:.2f}x "
+            f"< {bar:.3g}x")
+
+
+class TestCommittedColumnarBaseline:
+    """The committed quick-mode baseline the CI trajectory gate uses."""
+
+    BASELINE_PATH = os.path.join(os.path.dirname(__file__), "baselines",
+                                 "BENCH_columnar.json")
+
+    def _baseline(self):
+        with open(self.BASELINE_PATH, encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def test_schema_and_coverage(self):
+        document = self._baseline()
+        assert document["schema"] == BENCH_SCHEMA
+        assert document["experiment"] == "columnar"
+        labels = {record["label"] for record in document["records"]}
+        assert labels == (set(CELL_LABELS)
+                          | {f"{label}/row" for label in CELL_LABELS}
+                          | set(TRANSPORT_LABELS))
+        for record in document["records"]:
+            assert record["time_ms_per_1000"] > 0, record["label"]
+
+    def test_baseline_passes_against_itself(self):
+        from .baseline_compare import compare_documents
+        document = self._baseline()
+        assert compare_documents(document, document) == []
+
+
+class TestBenchJsonEmission:
+    def test_bench_document_schema(self, measurements):
+        document = bench_document("columnar", measurements,
+                                  quick=quick_mode(), elapsed_seconds=1.0)
+        assert document["schema"] == BENCH_SCHEMA
+        assert document["experiment"] == "columnar"
+        assert len(document["records"]) == len(measurements)
+        record = document["records"][0]
+        assert {"label", "window", "time_ms_per_1000"} <= set(record)
+
+    def test_harness_writes_bench_columnar_json(self, tmp_path, monkeypatch):
+        """``python -m benchmarks.harness columnar --json-out DIR`` must
+        emit a schema-valid BENCH_columnar.json."""
+        monkeypatch.setenv("REPRO_BENCH_QUICK", "1")
+        assert harness_main(["columnar", "--quick",
+                             "--json-out", str(tmp_path)]) == 0
+        path = tmp_path / "BENCH_columnar.json"
+        document = json.loads(path.read_text())
+        assert document["schema"] == BENCH_SCHEMA
+        assert document["quick"] is True
+        labels = {record["label"] for record in document["records"]}
+        assert labels == (set(CELL_LABELS)
+                          | {f"{label}/row" for label in CELL_LABELS}
+                          | set(TRANSPORT_LABELS))

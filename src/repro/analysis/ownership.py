@@ -73,6 +73,14 @@ def _is_whitelisted(obj: Any) -> bool:
         return True
     if isinstance(obj, NullCounters):
         return True
+    # The columnar shard transport's shared-memory segments are shared by
+    # construction (parent packs columns in, fork-inherited workers decode
+    # them out) — that is the transport contract, not an aliasing defect:
+    # segment contents never hold pipeline state, only the in-flight wire
+    # encoding of one chunk, and the pipe protocol serializes access.
+    from multiprocessing import shared_memory
+    if isinstance(obj, shared_memory.SharedMemory):
+        return True
     # Telemetry's NullRegistry discards writes the same way; imported
     # lazily so analysis does not pull the engine in at import time.
     from ..engine.telemetry import NullRegistry
@@ -144,6 +152,12 @@ def _is_mutable_state(obj: Any) -> bool:
     if isinstance(obj, (Counters, StateBuffer)):
         return True
     if isinstance(obj, _MUTABLE_CONTAINERS):
+        return True
+    # Shared-memory segments ARE mutable state — the analysis must see
+    # them (so the transport whitelist in _is_whitelisted is a deliberate,
+    # visible exemption rather than a blind spot).
+    from multiprocessing import shared_memory
+    if isinstance(obj, shared_memory.SharedMemory):
         return True
     from ..engine.telemetry import MetricsRegistry
     from ..engine.views import ResultView

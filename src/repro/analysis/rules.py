@@ -860,6 +860,47 @@ def rule_prg604_specialization_coverage(ctx: LintContext
         )
 
 
+def rule_prg605_column_kernel_agreement(ctx: LintContext
+                                        ) -> Iterator[Diagnostic]:
+    """PRG605: on every fused dispatch prefix, an operator's column kernel
+    must evaluate the same function as its scalar kernel — the same
+    predicate object for ``filter``/``filter_rows``, the same index tuple
+    for ``map_indices``/``take_columns``, ``pass`` for ``pass``.  The
+    columnar driver evaluates prefixes column-wise from the column form
+    while the row path (and every fallback) evaluates the scalar form; a
+    disagreeing pair would make ``columnar=True`` and ``columnar=False``
+    runs produce different answers from the same plan.  Operators with no
+    column kernel are fine — they opt the plan out of the columnar loop
+    wholesale rather than changing its meaning."""
+    from ..engine.columnar import column_kernel_matches
+
+    program = _program_of(ctx)
+    if program is None:
+        return
+    for stream, plans in program.dispatch.items():
+        for plan in plans:
+            for op, _kind, _arg in plan.prefix:
+                column = op.column_kernel()
+                if column is None:
+                    continue  # not vectorizable: row-path fallback
+                scalar = op.scalar_kernel()
+                if not column_kernel_matches(scalar, column):
+                    scalar_kind = scalar[0] if scalar else None
+                    yield Diagnostic(
+                        "PRG605", SEVERITY_ERROR,
+                        f"$ [dispatch:{stream}]",
+                        f"fused prefix entry {type(op).__name__} exposes a "
+                        f"column kernel {column[0]!r} that disagrees with "
+                        f"its scalar kernel {scalar_kind!r}; the columnar "
+                        "and row paths would compute different answers "
+                        "from the same plan",
+                        "make column_kernel() return the column form of "
+                        "exactly the scalar kernel (same predicate/index "
+                        "objects), or return None to opt out of "
+                        "vectorization",
+                    )
+
+
 def rule_dm502_redundant_distinct(ctx: LintContext) -> Iterator[Diagnostic]:
     """DM502: duplicate elimination over input that is already
     duplicate-free (the output of another duplicate elimination, possibly
@@ -913,6 +954,7 @@ PLAN_RULES = (
     ("PRG602", rule_prg602_expiration_participants),
     ("PRG603", rule_prg603_fused_prefixes_stateless),
     ("PRG604", rule_prg604_specialization_coverage),
+    ("PRG605", rule_prg605_column_kernel_agreement),
     ("ALS701", rule_als701_exclusive_ownership),
     ("ALS702", rule_als702_stale_captures),
     ("ALS703", rule_als703_module_level_sinks),

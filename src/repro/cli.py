@@ -82,6 +82,7 @@ def _cmd_run(args) -> int:
                              str_storage=args.str_storage,
                              checked=args.checked,
                              specialize=not args.no_specialize,
+                             columnar=not args.no_columnar,
                              telemetry=args.metrics_out is not None)
     query = ContinuousQuery(plan, config)
     if args.explain:
@@ -122,6 +123,7 @@ def _cmd_run_group(args) -> int:
                              str_storage=args.str_storage,
                              checked=args.checked,
                              specialize=not args.no_specialize,
+                             columnar=not args.no_columnar,
                              telemetry=args.metrics_out is not None)
     group = QueryGroup(shared=not args.independent)
     for index, text in enumerate(args.queries, start=1):
@@ -259,6 +261,11 @@ def _add_specialize_option(parser: argparse.ArgumentParser) -> None:
                              "of the specialized (compiled-closure) event "
                              "loop; answers, output streams and counters "
                              "are byte-identical either way")
+    parser.add_argument("--no-columnar", action="store_true",
+                        help="run the row-at-a-time micro-batch path "
+                             "instead of the columnar (struct-of-arrays "
+                             "chunk) data plane; answers, output streams "
+                             "and counters are byte-identical either way")
 
 
 def _add_checked_option(parser: argparse.ArgumentParser) -> None:

@@ -84,10 +84,23 @@ class ContinuousQuery:
             ops = len(self.compiled.op_timers)
             metrics_note = (f"on ({len(registry)} instruments across "
                             f"{ops} operators)")
+        driver = self.executor.driver
+        if not getattr(self.config, "columnar", True):
+            columnar_note = "off (row path; re-enable by dropping " \
+                            "columnar=False / --no-columnar)"
+        elif not getattr(driver, "_col_ok", False):
+            columnar_note = ("row fallback (plan has no column-kernel "
+                             "cover; answers unchanged)")
+        else:
+            plans = getattr(driver, "_col_plans", {})
+            columnar_note = (f"on ({sum(map(len, plans.values()))} "
+                             f"column plan(s) across {len(plans)} "
+                             "stream(s), struct-of-arrays chunks)")
         return (f"{tree}\n-- sharding: {verdict.describe()}"
                 f"\n-- lint: {report.summary()}"
                 f"\n-- bounds: {certificate.summary()}"
                 f"\n-- metrics: {metrics_note}"
+                f"\n-- columnar: {columnar_note}"
                 f"\n-- program: {self.executor.program.describe()}")
 
     @property

@@ -55,9 +55,10 @@ note.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
+import os
 import time
-import zlib
 from collections import Counter as Multiset
 from itertools import islice
 from typing import Callable, Iterable, Iterator, Sequence
@@ -73,6 +74,7 @@ from ..core.tuples import Tuple
 from ..errors import ExecutionError
 from ..streams.stream import Arrival, Event, RelationUpdate, Tick
 from ..analysis.sanitizer import verify_drain
+from .columnar import decode_routed, encode_routed, stable_hash
 from .driver import Driver
 from .executor import Executor
 from .program import build_program
@@ -98,19 +100,13 @@ def _compile_driver(plan: LogicalNode, config: ExecutionConfig) -> Driver:
     return make_driver(compiled, build_program(compiled))
 
 
-def stable_hash(value: object) -> int:
-    """Process- and run-stable hash used for shard routing.
-
-    Python's built-in ``hash`` is randomized per interpreter (PYTHONHASHSEED),
-    so a forked worker restarted across runs — or the parent vs. an analysis
-    script — would disagree on placements.  CRC32 of ``repr(value)`` is
-    deterministic everywhere and cheap for the short strings and tuples used
-    as keys.
-    """
-    return zlib.crc32(repr(value).encode("utf-8"))
-
-
 def _chunked(events: Iterable[Event], size: int) -> Iterator[list[Event]]:
+    if type(events) is list:
+        # Traces usually arrive as lists already: slice directly instead of
+        # re-materializing every chunk through an iterator + islice copy.
+        for start in range(0, len(events), size):
+            yield events[start:start + size]
+        return
     iterator = iter(events)
     while True:
         chunk = list(islice(iterator, size))
@@ -356,6 +352,10 @@ class _SerialShards:
             outputs.append(collector.drain())
         return outputs
 
+    def feed_chunk(self, chunk: Sequence[Event], router: "ShardRouter"
+                   ) -> list[list[tuple[float, int, Tuple]]]:
+        return self.feed(router.route_chunk(chunk))
+
     def finish(self) -> list[_ShardFinal]:
         for driver in self.drivers:
             # Checked execution: each replica owns its own sanitizer (the
@@ -373,21 +373,86 @@ class _SerialShards:
         ]
 
 
+#: Capacity of each worker's reusable shared-memory segment (1 MiB holds
+#: thousands of DEFAULT_CHUNK-sized rows; oversize chunks fall back to the
+#: pickle pipe per chunk, so the bound is a fast path, not a limit).
+_SHM_CAPACITY = 1 << 20
+
+
+class _ShmArena:
+    """Reusable shared-memory segments for the zero-pickle chunk transport.
+
+    Created by the parent *before* forking so every worker inherits the
+    mapping directly — no name attach, no per-chunk allocation.  The fused
+    routed transport writes ONE payload per global chunk that every worker
+    reads, so a single segment serves the whole pool; the protocol is
+    synchronous per chunk (the parent never overwrites the segment until
+    every worker's reply for the previous chunk arrived, and workers
+    finish their lazy column decodes before replying), so the one segment
+    is reused for the whole run.
+
+    Cleanup is defensive in depth: ``close()`` runs on the normal finish
+    path, on every pool abort, and from an ``atexit`` hook — PID-guarded,
+    because forked workers inherit the parent's atexit registrations and
+    must never unlink segments they do not own.
+    """
+
+    def __init__(self, n_segments: int, capacity: int = _SHM_CAPACITY):
+        from multiprocessing import shared_memory
+        self.capacity = capacity
+        self._pid = os.getpid()
+        self._closed = False
+        self.segments = []
+        try:
+            for _ in range(n_segments):
+                self.segments.append(
+                    shared_memory.SharedMemory(create=True, size=capacity))
+        except (OSError, ValueError):
+            self.close()
+            raise
+        atexit.register(self.close)
+
+    def write(self, index: int, payload: bytes) -> None:
+        self.segments[index].buf[:len(payload)] = payload
+
+    def close(self) -> None:
+        """Close and unlink every segment exactly once, creator-only."""
+        if self._closed or os.getpid() != self._pid:
+            return
+        self._closed = True
+        for shm in self.segments:
+            try:
+                shm.close()
+            except (BufferError, OSError):  # pragma: no cover - defensive
+                pass
+            try:
+                shm.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+
+
 def _shard_worker_main(conn, plan: LogicalNode, config: ExecutionConfig,
-                       batch: int | None, collect: bool) -> None:
+                       batch: int | None, collect: bool,
+                       shm=None) -> None:
     """Worker loop for one forked shard process.
 
     Built from fork-inherited arguments — the plan (which may close over
     lambdas in predicates) is never pickled.  Protocol: ``("chunk",
-    events)`` → ``("out", outputs)``; ``("finish",)`` → ``("fin", answer
-    items, counter snapshot, events, tuples, state size)``.  Any exception
-    is reported as ``("err", message)`` and ends the worker.
+    events)`` → ``("out", outputs)``; ``("cshard", nbytes, header)`` →
+    ``("out", outputs)`` after decoding this shard's slice of the shared
+    routed payload in place from the fork-inherited shared-memory segment
+    (column materialization is lazy, but always completes before the
+    reply, so the parent may overwrite the segment as soon as every reply
+    is in); ``("finish",)`` → ``("fin", answer items, counter snapshot,
+    events, tuples, state size)``.  Any exception is reported as
+    ``("err", message)`` and ends the worker.
     """
     try:
         driver = _compile_driver(plan, config)
         collector = _ShardCollector()
         if collect:
             driver.subscribe(collector)
+        process_chunk = getattr(driver, "process_chunk", None)
         while True:
             message = conn.recv()
             tag = message[0]
@@ -399,6 +464,23 @@ def _shard_worker_main(conn, plan: LogicalNode, config: ExecutionConfig,
                     process = driver.process_event
                     for event in events:
                         process(event)
+                conn.send(("out", _encode_outputs(collector.drain())))
+            elif tag == "cshard":
+                table = decode_routed(shm.buf[:message[1]], message[2])
+                if (batch is not None and batch > 1
+                        and process_chunk is not None):
+                    process_chunk(table)
+                else:
+                    events = table.to_events()
+                    if batch is not None and batch > 1:
+                        driver.process_batch(events)
+                    else:
+                        process = driver.process_event
+                        for event in events:
+                            process(event)
+                # Drop the table (and its memoryview over the segment)
+                # before replying, so shutdown can unmap the segment.
+                del table
                 conn.send(("out", _encode_outputs(collector.drain())))
             elif tag == "finish":
                 # Checked execution: violations raised here propagate to the
@@ -535,9 +617,18 @@ class _ProcessShards(_WorkerPool):
     """k forked worker processes, one pipeline replica each.
 
     The parent sends every shard its chunk *before* collecting any reply, so
-    all workers compute concurrently while the parent waits — the shipped
-    chunks are the same micro-batches PR 1 amortizes, so pickling cost is
-    paid once per chunk, not per event.
+    all workers compute concurrently while the parent waits.  Chunk
+    transport is zero-pickle by default, and *fused*: the parent
+    struct-packs each routed chunk ONCE
+    (:func:`~repro.engine.columnar.encode_routed`) — shared ``ts``
+    timeline, every stream's value columns concatenated shard-major — into
+    one reusable fork-inherited shared-memory segment, and each pipe
+    carries only a tiny ``("cshard", nbytes, header)`` message whose
+    header lists the shard's contiguous ``(stream, offset, count)`` slices
+    plus their row indices.  Workers decode their slices in place,
+    lazily per stream.  Chunks the codec cannot represent (relation
+    updates, oversize payloads) and ``columnar=False`` runs fall back to
+    the compact-tuple pickle pipe per chunk.
     """
 
     what = "shard worker"
@@ -546,32 +637,76 @@ class _ProcessShards(_WorkerPool):
                  n_shards: int, batch: int | None, collect: bool):
         super().__init__()
         context = multiprocessing.get_context("fork")
+        arena = None
+        if getattr(config, "columnar", True):
+            try:
+                arena = _ShmArena(1)
+            except (ImportError, OSError, ValueError):
+                arena = None  # no shm on this platform: pickle transport
+        self._arena = arena
+        segment = arena.segments[0] if arena is not None else None
         self._spawn(
             context, _shard_worker_main,
-            lambda child_conn, _i: (child_conn, plan, config, batch, collect),
+            lambda child_conn, i: (child_conn, plan, config, batch, collect,
+                                   segment),
             n_shards)
 
     def feed(self, per_shard: list[list[Event]]
              ) -> list[list[tuple[float, int, Tuple]]]:
+        """Pickle-pipe fallback path: compact-tuple chunks, one per shard."""
         for conn, events in zip(self._connections, per_shard):
-            self._send(conn, ("chunk", [_encode_event(e) for e in events]))
+            self._send(conn,
+                       ("chunk", [_encode_event(e) for e in events]))
         return [_decode_outputs(self._receive(conn)[1])
                 for conn in self._connections]
 
+    def feed_chunk(self, chunk: Sequence[Event], router: "ShardRouter"
+                   ) -> list[list[tuple[float, int, Tuple]]]:
+        """Ship one global chunk: fused routed shm transport when the
+        codec can represent it, ``route_chunk`` + pickle pipe otherwise."""
+        arena = self._arena
+        if arena is not None:
+            encoded = encode_routed(chunk, router._index, router.n_shards)
+            if encoded is not None and len(encoded[0]) <= arena.capacity:
+                payload, headers, shard_arrivals, broadcasts = encoded
+                # Fold in the routing statistics route_chunk would have
+                # counted (the fused encoder routes without building the
+                # per-shard event lists).
+                per_shard_arrivals = router.per_shard_arrivals
+                for i, count in enumerate(shard_arrivals):
+                    per_shard_arrivals[i] += count
+                router.broadcasts += broadcasts
+                arena.write(0, payload)
+                nbytes = len(payload)
+                for conn, header in zip(self._connections, headers):
+                    self._send(conn, ("cshard", nbytes, header))
+                return [_decode_outputs(self._receive(conn)[1])
+                        for conn in self._connections]
+        return self.feed(router.route_chunk(chunk))
+
+    def _abort(self) -> None:
+        super()._abort()
+        if self._arena is not None:
+            self._arena.close()
+
     def finish(self) -> list[_ShardFinal]:
-        for conn in self._connections:
-            self._send(conn, ("finish",))
-        finals = []
-        for conn in self._connections:
-            (_tag, answer_items, counters, events, tuples, state,
-             metrics) = self._receive(conn)
-            answer: Multiset = Multiset()
-            for values, count in answer_items:
-                answer[values] = count
-            finals.append(_ShardFinal(answer, counters, events, tuples,
-                                      state, metrics))
-            conn.close()
-        self._join_all()
+        try:
+            for conn in self._connections:
+                self._send(conn, ("finish",))
+            finals = []
+            for conn in self._connections:
+                (_tag, answer_items, counters, events, tuples, state,
+                 metrics) = self._receive(conn)
+                answer: Multiset = Multiset()
+                for values, count in answer_items:
+                    answer[values] = count
+                finals.append(_ShardFinal(answer, counters, events, tuples,
+                                          state, metrics))
+                conn.close()
+            self._join_all()
+        finally:
+            if self._arena is not None:
+                self._arena.close()
         return finals
 
 
@@ -777,7 +912,7 @@ class ShardedExecutor:
             events_processed += len(chunk)
             tuples_arrived += sum(
                 1 for event in chunk if isinstance(event, Arrival))
-            outputs = backend.feed(router.route_chunk(chunk))
+            outputs = backend.feed_chunk(chunk, router)
             if collect:
                 for shard, items in enumerate(outputs):
                     merger.add(shard, items)

@@ -108,9 +108,15 @@ def make_driver(compiled, program: ExecutionProgram) -> Driver:
 
     ``ExecutionConfig(specialize=False)`` (CLI ``--no-specialize``) opts
     back into the interpreted reference driver; the default compiles the
-    program's specialization table into a :class:`SpecializedDriver`.
+    program's specialization table into a :class:`SpecializedDriver` —
+    and, unless ``ExecutionConfig(columnar=False)`` (CLI ``--no-columnar``)
+    opted out, into its columnar subclass whose micro-batch loop runs over
+    struct-of-arrays chunks (:mod:`repro.engine.columnar`).
     """
     if getattr(compiled.config, "specialize", True):
+        if getattr(compiled.config, "columnar", True):
+            from .columnar import ColumnarDriver
+            return ColumnarDriver(compiled, program)
         return SpecializedDriver(compiled, program)
     return Driver(compiled, program)
 

@@ -101,6 +101,30 @@ class PhysicalOperator:
         """
         return None
 
+    def column_kernel(self):
+        """Column-wise counterpart of :meth:`scalar_kernel`.
+
+        Operators whose scalar kernel vectorizes over whole columns may
+        return the column form consumed by the columnar driver's fused
+        prefix loop:
+
+        * ``("filter_rows", predicate)`` — keep the rows whose value
+          tuple satisfies ``predicate`` (same predicate object as the
+          scalar ``("filter", ...)`` kernel);
+        * ``("take_columns", indices)`` — gather the value columns at
+          ``indices`` (same index tuple as ``("map_indices", ...)``);
+        * ``("pass", None)`` — forward all rows unchanged.
+
+        The columnar driver replicates the same per-tuple bookkeeping
+        contract as the scalar path (clock fold to the last reaching
+        timestamp, one ``tuples_processed`` charge per tuple seen), and
+        lint rule PRG605 proves scalar and column kernels agree on every
+        fused prefix of the compiled plan.  Kernels that do not
+        vectorize return ``None`` (the default): the driver then falls
+        back to the per-row specialized loop for the whole plan.
+        """
+        return None
+
     def next_expiry(self, now: float) -> float:
         """Earliest ``exp`` (> ``now``) pending in eagerly-expired state.
 

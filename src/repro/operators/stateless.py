@@ -54,6 +54,9 @@ class SelectOp(PhysicalOperator):
     def scalar_kernel(self):
         return ("filter", self._predicate)
 
+    def column_kernel(self):
+        return ("filter_rows", self._predicate)
+
 
 class ProjectOp(PhysicalOperator):
     """Keep only the attributes at the given positions (bag semantics)."""
@@ -84,6 +87,9 @@ class ProjectOp(PhysicalOperator):
     def scalar_kernel(self):
         return ("map_indices", self._indices)
 
+    def column_kernel(self):
+        return ("take_columns", self._indices)
+
 
 class UnionOp(PhysicalOperator):
     """Non-blocking merge union: forward tuples from either input.
@@ -108,6 +114,9 @@ class UnionOp(PhysicalOperator):
         return list(tuples)
 
     def scalar_kernel(self):
+        return ("pass", None)
+
+    def column_kernel(self):
         return ("pass", None)
 
 

@@ -301,6 +301,23 @@ def _prg604_stale_specialization_table() -> LintReport:
     return lint_compiled(compiled)
 
 
+def _prg605_lying_column_kernel() -> LintReport:
+    """Shadow one fused SelectOp's column kernel with a different (accept
+    everything) predicate — the defect a hand-vectorized kernel with a
+    transcription slip would produce.  The operator stays stateless and
+    keeps its scalar kernel, so PRG601–604 stay green, but the columnar
+    path would filter the stream differently than the row path: same
+    plan, two answers, and only the kernel-agreement cross-check sees
+    it."""
+    plan = queries.query1(_GEN, WINDOW)
+    _config, compiled = _compiled(plan, mode=Mode.UPA)
+    program = build_program(compiled)
+    _stream, plans = next(iter(program.dispatch.items()))
+    op = plans[0].prefix[0][0]
+    op.column_kernel = lambda: ("filter_rows", lambda values: True)
+    return lint_compiled(compiled)
+
+
 # ---------------------------------------------------------------------------
 # ALS — ownership and aliasing violations
 # ---------------------------------------------------------------------------
@@ -452,6 +469,9 @@ CORPUS: tuple[BadPlan, ...] = (
     BadPlan("stale-specialization-table", "PRG604",
             "cached specialization table lost one stream's closures",
             _prg604_stale_specialization_table),
+    BadPlan("lying-column-kernel", "PRG605",
+            "fused select's column kernel disagrees with its scalar kernel",
+            _prg605_lying_column_kernel),
     BadPlan("aliased-join-state", "ALS701",
             "one buffer instance aliased into both join state slots",
             _als701_aliased_join_state),

@@ -181,6 +181,43 @@ class TestShardWorkerFailures:
         finally:
             backend._abort()
 
+    def test_killed_worker_does_not_leak_shared_memory(self):
+        """SIGKILL a worker mid-run on the columnar shm transport: the
+        pool abort must close *and unlink* every arena segment — a leaked
+        ``/dev/shm`` file outlives the process and eats kernel memory."""
+        import time
+
+        from multiprocessing import shared_memory
+
+        from repro.core.sharding import analyze_partitionability
+        from repro.engine.shard import _ProcessShards, ShardRouter
+
+        plan = self._plan()
+        part = analyze_partitionability(plan)
+        backend = _ProcessShards(plan, ExecutionConfig(mode=Mode.UPA),
+                                 2, 64, False)
+        try:
+            arena = backend._arena
+            assert arena is not None, "columnar run should build an arena"
+            names = [shm.name for shm in arena.segments]
+            router = ShardRouter(part.keys, 2)
+            # One healthy chunk over the cshard shm path first.
+            backend.feed_chunk(self._events(64), router)
+            backend._processes[0].kill()
+            backend._processes[0].join(timeout=10)
+            with pytest.raises(ExecutionError, match="died"):
+                backend.feed_chunk(self._events(64), router)
+        finally:
+            backend._abort()
+        assert backend._arena._closed
+        deadline = time.monotonic() + 10
+        while any(p.is_alive() for p in backend._processes):
+            assert time.monotonic() < deadline, "pool abort leaked workers"
+            time.sleep(0.05)
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
     def test_hung_worker_is_detected_terminated_and_reported(self):
         """A worker that never exits after finishing must be terminated,
         reaped and reported — not silently leaked as a zombie."""

@@ -108,7 +108,9 @@ class TestCrossRegimeMatrix:
     micro-batch, checked, and telemetry execution — and the shared-group
     and sharded-serial regimes must reproduce the same answer and stream
     (sharded counters are compared structurally: per-shard sums equal the
-    unsharded totals).
+    unsharded totals).  Every cell additionally runs with the columnar
+    chunk plane on and off — the struct-of-arrays batch loop must be
+    invisible in every pinned artifact.
     """
 
     #: The exact UPA output stream: (values, ts, exp, sign, now) per tuple.
@@ -151,6 +153,8 @@ class TestCrossRegimeMatrix:
         result = query.run(list(TRACE), batch=batch, **kwargs)
         return query, result, tuple(outputs)
 
+    @pytest.mark.parametrize("columnar", [True, False],
+                             ids=["columnar", "row"])
     @pytest.mark.parametrize("specialize", [True, False],
                              ids=["specialized", "interpreted"])
     @pytest.mark.parametrize("regime,kwargs", [
@@ -162,20 +166,25 @@ class TestCrossRegimeMatrix:
         ("telemetry-batched", {"batch": 4, "telemetry": True}),
     ])
     def test_unsharded_regimes_pin_everything(self, regime, kwargs,
-                                              specialize):
-        query, result, outputs = self._run(specialize=specialize, **kwargs)
+                                              specialize, columnar):
+        query, result, outputs = self._run(specialize=specialize,
+                                           columnar=columnar, **kwargs)
         assert dict(query.answer()) == self.GOLDEN_ANSWER, regime
         assert outputs == self.GOLDEN_STREAM, regime
         snapshot = result.counters.snapshot()
         assert {key: snapshot[key] for key in self.STRUCTURAL} \
             == self.GOLDEN_COUNTERS, regime
 
+    @pytest.mark.parametrize("columnar", [True, False],
+                             ids=["columnar", "row"])
     @pytest.mark.parametrize("specialize", [True, False],
                              ids=["specialized", "interpreted"])
     @pytest.mark.parametrize("batch", [None, 4])
-    def test_sharded_serial_pins_answer_and_stream(self, batch, specialize):
+    def test_sharded_serial_pins_answer_and_stream(self, batch, specialize,
+                                                   columnar):
         _query, result, outputs = self._run(batch=batch, shards=2,
-                                            specialize=specialize)
+                                            specialize=specialize,
+                                            columnar=columnar)
         assert result.fallback_reason is None
         assert dict(result.answer()) == self.GOLDEN_ANSWER
         assert outputs == self.GOLDEN_STREAM
@@ -183,14 +192,18 @@ class TestCrossRegimeMatrix:
         assert {key: snapshot[key] for key in self.STRUCTURAL} \
             == self.GOLDEN_COUNTERS
 
+    @pytest.mark.parametrize("columnar", [True, False],
+                             ids=["columnar", "row"])
     @pytest.mark.parametrize("specialize", [True, False],
                              ids=["specialized", "interpreted"])
     @pytest.mark.parametrize("batch", [None, 4])
-    def test_shared_group_pins_answer_and_stream(self, batch, specialize):
+    def test_shared_group_pins_answer_and_stream(self, batch, specialize,
+                                                 columnar):
         from repro import QueryGroup
 
         group = QueryGroup(shared=True)
-        config = ExecutionConfig(mode=Mode.UPA, specialize=specialize)
+        config = ExecutionConfig(mode=Mode.UPA, specialize=specialize,
+                                 columnar=columnar)
         group.add("q1", self.plan(), config)
         group.add("q2", self.plan(), config)
         streams = {"q1": [], "q2": []}

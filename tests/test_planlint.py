@@ -268,6 +268,46 @@ class TestOwnershipAndBounds:
         # assert coverage was non-trivial.
         assert validate_certificate(query.compiled) > 0
 
+    def test_shm_segments_whitelisted_as_transport_not_state(self):
+        """Isolation proof for the columnar shm transport: a shared-memory
+        segment reachable from every shard replica is seen by the analysis
+        as mutable state, yet exempted as the transport contract — while an
+        ordinary mutable object in the *same* cross-scope position is still
+        flagged (the whitelist is surgical, not a blind spot)."""
+        from multiprocessing import shared_memory
+        from types import SimpleNamespace
+
+        from repro.analysis.ownership import (
+            _is_mutable_state,
+            _is_whitelisted,
+            shared_mutable_state,
+        )
+        from repro.engine.shard import _compile_driver
+
+        segment = shared_memory.SharedMemory(create=True, size=64)
+        try:
+            assert _is_mutable_state(segment)
+            assert _is_whitelisted(segment)
+
+            plan = QUERY_BUILDERS["query1"]()
+            leak: list = []  # a genuinely shared plain container
+            pipelines = []
+            for i in range(2):
+                driver = _compile_driver(plan, ExecutionConfig(mode=Mode.UPA))
+                # Plant the shared segment AND a shared list where the
+                # replica's ownership walk will find them, exactly like a
+                # buffer slot.
+                driver.compiled.ops[f"planted-{i}"] = SimpleNamespace(
+                    state_buffers=lambda: [("shm", segment), ("leak", leak)],
+                    counters=None)
+                pipelines.append((f"shard{i}", driver.compiled))
+            shared = shared_mutable_state(pipelines)
+            assert [desc for desc, _scopes in shared] == \
+                ["list at op:SimpleNamespace.leak"]
+        finally:
+            segment.close()
+            segment.unlink()
+
     def test_register_shared_sink_suppresses_als701(self):
         """A deliberately shared structure, once registered, is exempt from
         the exclusive-ownership proof."""

@@ -87,6 +87,7 @@ class TestSingleImplementation:
     def test_regimes_share_the_driver_class(self):
         from repro.engine.shard import _SerialShards
         from repro.core.sharding import analyze_partitionability
+        from repro.engine.columnar import ColumnarDriver
         from repro.engine.specialize import SpecializedDriver
 
         plan = from_window(stream("s0")).distinct().build()
@@ -98,10 +99,16 @@ class TestSingleImplementation:
         assert all(type(d) is Driver for d in shards.drivers)
         assert all(isinstance(d.program, ExecutionProgram)
                    for d in shards.drivers)
-        # Default: the same Driver contract, specialized subclass.
-        shards = _SerialShards(plan, ExecutionConfig(mode=Mode.UPA), 2,
+        # Row-path opt-out: the specialized driver, exactly.
+        shards = _SerialShards(plan, ExecutionConfig(mode=Mode.UPA,
+                                                     columnar=False), 2,
                                None, False)
         assert all(type(d) is SpecializedDriver for d in shards.drivers)
+        # Default: the same Driver contract, columnar specialized subclass.
+        shards = _SerialShards(plan, ExecutionConfig(mode=Mode.UPA), 2,
+                               None, False)
+        assert all(type(d) is ColumnarDriver for d in shards.drivers)
+        assert all(isinstance(d, SpecializedDriver) for d in shards.drivers)
         assert all(isinstance(d, Driver) for d in shards.drivers)
 
     def test_shared_producers_hold_drivers(self):
@@ -124,7 +131,8 @@ class TestSingleImplementation:
                   ExecutionConfig(mode=Mode.UPA))
         producers = group.shared_producers()
         assert producers, "identical members must fuse"
-        assert all(type(p.driver) is SpecializedDriver for p in producers)
+        assert all(isinstance(p.driver, SpecializedDriver)
+                   for p in producers)
 
 
 class TestProgramStructure:

@@ -89,16 +89,19 @@ def stream_key(outputs):
     return tuple((t.values, t.ts, t.exp, t.sign, now) for t, now in outputs)
 
 
-def run_unsharded(plan, events, mode, batch=None):
-    query = ContinuousQuery(plan, ExecutionConfig(mode=mode))
+def run_unsharded(plan, events, mode, batch=None, columnar=True):
+    query = ContinuousQuery(plan, ExecutionConfig(mode=mode,
+                                                  columnar=columnar))
     outputs = []
     query.subscribe(lambda t, now: outputs.append((t, now)))
     result = query.run(iter(events), batch=batch)
     return result, outputs
 
 
-def run_sharded(plan, events, mode, shards, backend, batch=None):
-    sharded = ShardedExecutor(plan, ExecutionConfig(mode=mode),
+def run_sharded(plan, events, mode, shards, backend, batch=None,
+                columnar=True):
+    sharded = ShardedExecutor(plan, ExecutionConfig(mode=mode,
+                                                    columnar=columnar),
                               shards=shards, backend=backend)
     outputs = []
     sharded.subscribe(lambda t, now: outputs.append((t, now)))
@@ -284,6 +287,44 @@ def test_merged_stream_is_chunk_size_invariant():
         else:
             assert key == reference, f"batch={batch} changed merged order"
     assert analyze_partitionability(plan).shardable
+
+
+@SETTINGS
+@given(shards=st.sampled_from([2, 3, 4]),
+       batch=st.sampled_from([3, 7, 16, 64, 256]),
+       columnar=st.booleans())
+def test_columnar_chunk_shard_invariance(shards, batch, columnar):
+    """Satellite: chunk size × shard count × columnar on/off never moves
+    the merged stream — it is byte-identical to the unsharded row-path
+    reference, and so are answers and structural counters."""
+    base, base_out = run_unsharded(query1(_GEN, _WINDOW), _EVENTS[:300],
+                                   Mode.UPA, batch=batch, columnar=False)
+    res, out = run_sharded(query1(_GEN, _WINDOW), _EVENTS[:300], Mode.UPA,
+                           shards, "serial", batch, columnar=columnar)
+    label = (shards, batch, columnar)
+    assert res.answer() == base.answer(), label
+    assert stream_key(out) == stream_key(base_out), label
+    snap, base_snap = res.counters.snapshot(), base.counters.snapshot()
+    for field in STRUCTURAL:
+        assert snap[field] == base_snap[field], (label, field)
+
+
+def test_chunked_slices_lists_without_copying_semantics():
+    """Satellite: `_chunked` takes the direct-slice path for list input;
+    chunk boundaries are identical to the iterator path for every size."""
+    from repro.engine.shard import _chunked
+
+    events = list(range(23))
+    for size in (1, 4, 7, 23, 64):
+        from_list = list(_chunked(events, size))
+        from_iter = list(_chunked(iter(events), size))
+        assert from_list == from_iter, size
+        assert [len(c) for c in from_list[:-1]] == \
+            [size] * (len(from_list) - 1)
+        assert sum(from_list, []) == events
+        # The list path must yield honest slices (list chunks), so the
+        # boundaries above really are the transport chunk boundaries.
+        assert all(type(c) is list for c in from_list)
 
 
 def test_touches_decomposition():

@@ -59,7 +59,7 @@ def join_plan():
 class TestDriverSelection:
     def test_default_is_specialized(self):
         query = ContinuousQuery(join_plan(), ExecutionConfig(mode=Mode.UPA))
-        assert type(query.executor.driver) is SpecializedDriver
+        assert isinstance(query.executor.driver, SpecializedDriver)
         assert isinstance(query.executor.driver, Driver)
 
     def test_opt_out_is_the_interpreted_reference(self):
@@ -68,11 +68,14 @@ class TestDriverSelection:
         assert type(query.executor.driver) is Driver
 
     def test_make_driver_honours_config(self):
-        for specialize, expected in [(True, SpecializedDriver),
-                                     (False, Driver)]:
+        from repro.engine.columnar import ColumnarDriver
+        for kwargs, expected in [
+                ({}, ColumnarDriver),
+                ({"columnar": False}, SpecializedDriver),
+                ({"specialize": False}, Driver),
+                ({"specialize": False, "columnar": False}, Driver)]:
             compiled = compile_plan(
-                join_plan(), ExecutionConfig(mode=Mode.UPA,
-                                             specialize=specialize))
+                join_plan(), ExecutionConfig(mode=Mode.UPA, **kwargs))
             driver = make_driver(compiled, build_program(compiled))
             assert type(driver) is expected
 
